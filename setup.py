@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment ships an older setuptools without the ``wheel`` package, so
+PEP 517 editable installs (``pip install -e .``) cannot build a wheel.  This
+file enables the legacy ``setup.py develop`` code path; all real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

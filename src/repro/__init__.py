@@ -1,0 +1,75 @@
+"""repro — reproduction of Milroy et al., "Making Root Cause Analysis Feasible
+for Large Code Bases: A Solution Approach for a Climate Model" (HPDC 2019).
+
+The package implements the paper's full pipeline on a synthetic CESM-like
+climate model:
+
+* :mod:`repro.fortran` — Fortran-subset front end (preprocessor, lexer, parser).
+* :mod:`repro.model` — the synthetic CAM-like model source and bug patches.
+* :mod:`repro.runtime` — numerical interpreter, FPU/FMA model, PRNGs, coverage.
+* :mod:`repro.coverage` — codecov-style report writing/parsing and filtering.
+* :mod:`repro.kgen` — kernel extraction and normalized-RMS comparison.
+* :mod:`repro.ensemble` — accepted-ensemble and experimental-run generation.
+* :mod:`repro.ect` — UF-CAM-ECT style PCA consistency testing.
+* :mod:`repro.selection` — affected-output-variable selection (median / lasso).
+* :mod:`repro.graphs` — source-to-digraph metagraph construction.
+* :mod:`repro.slicing` — hybrid backward slicing (coverage + BFS paths).
+* :mod:`repro.analysis` — Girvan-Newman communities, centralities, degree stats.
+* :mod:`repro.refine` — Algorithm 5.4 iterative refinement with sampling.
+* :mod:`repro.experiments` — the paper's six experiments.
+* :mod:`repro.pipeline` — end-to-end root cause analysis orchestration.
+* :mod:`repro.reporting` — Table 1/2 and figure-series generation.
+
+The public, stable API is re-exported lazily here; importing ``repro`` is
+cheap and does not build the model.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: name -> (module, attribute) lazy export table
+_LAZY_EXPORTS: dict[str, tuple[str, str]] = {
+    # front end
+    "parse_source": ("repro.fortran", "parse_source"),
+    # model
+    "build_model_source": ("repro.model", "build_model_source"),
+    "ModelConfig": ("repro.model", "ModelConfig"),
+    # runtime
+    "run_model": ("repro.runtime", "run_model"),
+    "RunConfig": ("repro.runtime", "RunConfig"),
+    "FPConfig": ("repro.runtime", "FPConfig"),
+    # graph
+    "MetaGraph": ("repro.graphs", "MetaGraph"),
+    "build_metagraph": ("repro.graphs", "build_metagraph"),
+    # ensemble / ECT / selection
+    "EnsembleGenerator": ("repro.ensemble", "EnsembleGenerator"),
+    "UltraFastECT": ("repro.ect", "UltraFastECT"),
+    "select_affected_variables": ("repro.selection", "select_affected_variables"),
+    # slicing / analysis / refinement
+    "backward_slice": ("repro.slicing", "backward_slice"),
+    "girvan_newman_communities": ("repro.analysis", "girvan_newman_communities"),
+    "eigenvector_in_centrality": ("repro.analysis", "eigenvector_in_centrality"),
+    "IterativeRefinement": ("repro.refine", "IterativeRefinement"),
+    # experiments / pipeline
+    "get_experiment": ("repro.experiments", "get_experiment"),
+    "list_experiments": ("repro.experiments", "list_experiments"),
+    "RootCauseAnalysis": ("repro.pipeline", "RootCauseAnalysis"),
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from exc
+    return getattr(import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:  # pragma: no cover - trivial
+    return sorted(__all__)

@@ -1,0 +1,78 @@
+"""Fortran-subset front end: preprocessor, lexer, parser, AST.
+
+This package is the analogue of the paper's fparser/KGen/regex parsing stack
+(§4.1–4.2): it turns Fortran source text into abstract syntax trees that the
+metagraph builder (:mod:`repro.graphs`) compiles into a directed graph of
+variable dependencies and that the runtime (:mod:`repro.runtime`) executes
+numerically.
+"""
+
+from .ast_nodes import (
+    Apply,
+    Assignment,
+    BinOp,
+    CallStmt,
+    Declaration,
+    DerivedRef,
+    DoLoop,
+    Expr,
+    IfBlock,
+    ModuleNode,
+    NumberLit,
+    SourceFileAST,
+    Stmt,
+    StringLit,
+    Subprogram,
+    TypeDef,
+    UnaryOp,
+    UseStmt,
+    VarRef,
+)
+from .errors import (
+    FortranFrontEndError,
+    LexError,
+    ParseError,
+    PreprocessorError,
+    SourceLocation,
+    UnsupportedStatementError,
+)
+from .intrinsics import ALL_INTRINSICS, EXPRESSION_INTRINSICS, is_intrinsic
+from .lexer import Lexer, tokenize_line
+from .parser import parse_expression, parse_source
+from .preprocessor import preprocess
+
+__all__ = [
+    "ALL_INTRINSICS",
+    "Apply",
+    "Assignment",
+    "BinOp",
+    "CallStmt",
+    "Declaration",
+    "DerivedRef",
+    "DoLoop",
+    "EXPRESSION_INTRINSICS",
+    "Expr",
+    "FortranFrontEndError",
+    "IfBlock",
+    "LexError",
+    "Lexer",
+    "ModuleNode",
+    "NumberLit",
+    "ParseError",
+    "PreprocessorError",
+    "SourceFileAST",
+    "SourceLocation",
+    "Stmt",
+    "StringLit",
+    "Subprogram",
+    "TypeDef",
+    "UnaryOp",
+    "UnsupportedStatementError",
+    "UseStmt",
+    "VarRef",
+    "is_intrinsic",
+    "parse_expression",
+    "parse_source",
+    "preprocess",
+    "tokenize_line",
+]

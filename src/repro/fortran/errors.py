@@ -1,0 +1,75 @@
+"""Exception types raised by the Fortran-subset front end.
+
+The paper reports that existing Fortran parsers (fparser, KGen helpers)
+fail on a small number of CESM statements and that a fallback string parser
+is used for those.  We mirror that structure: the primary recursive-descent
+parser raises :class:`ParseError` with precise source locations, and the
+driver may hand the offending statement to the regex fallback parser
+(:mod:`repro.fortran.fallback`) before giving up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class FortranFrontEndError(Exception):
+    """Base class for all errors raised by :mod:`repro.fortran`."""
+
+
+@dataclass
+class SourceLocation:
+    """A location in a Fortran source file.
+
+    Attributes
+    ----------
+    filename:
+        Name of the source file (module file) being processed.
+    line:
+        1-based physical line number in the original (pre-preprocessing)
+        source, so error messages point at what the developer wrote.
+    column:
+        1-based column of the offending token, or 0 when unknown.
+    """
+
+    filename: str = "<string>"
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        if self.column:
+            return f"{self.filename}:{self.line}:{self.column}"
+        return f"{self.filename}:{self.line}"
+
+
+class LexError(FortranFrontEndError):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location or SourceLocation()
+        super().__init__(f"{self.location}: {message}")
+
+
+class ParseError(FortranFrontEndError):
+    """Raised when the recursive-descent parser cannot parse a statement."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location or SourceLocation()
+        super().__init__(f"{self.location}: {message}")
+
+
+class UnsupportedStatementError(ParseError):
+    """Raised for statements outside the supported Fortran subset.
+
+    The statement may still be handled by the fallback parser; callers
+    should catch this error and decide whether to degrade gracefully
+    (the paper tolerates 10 unparsed assignments out of 660k lines).
+    """
+
+
+class PreprocessorError(FortranFrontEndError):
+    """Raised for malformed preprocessor directives (#if/#endif mismatch)."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location or SourceLocation()
+        super().__init__(f"{self.location}: {message}")

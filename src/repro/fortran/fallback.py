@@ -1,0 +1,134 @@
+"""Regex/string fallback parser for statements the primary parser rejects.
+
+The paper employs three parsers per assignment (fparser, KGen helpers, and a
+custom regular-expression/string tool) because CESM contains thousands of
+expressions that exceed any single parser's capabilities.  This module is the
+analogue of the third tool: it extracts a *conservative* approximation of the
+data flow of an assignment or call statement — the left-hand-side variable and
+the set of right-hand-side identifiers — which is all the digraph needs.
+
+The resulting :class:`~repro.fortran.ast_nodes.Assignment` uses plain
+:class:`VarRef` nodes for every identifier found on the right-hand side, so a
+statement recovered here still contributes correct edges to the metagraph even
+though its exact expression structure is lost (the interpreter never sees
+fallback statements because the synthetic model is fully parseable by the
+primary parser; the fallback exists for robustness and is exercised in tests
+with deliberately pathological statements).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .ast_nodes import Apply, Assignment, CallStmt, DerivedRef, Expr, Stmt, VarRef
+from .errors import SourceLocation
+
+#: Identifiers that are Fortran keywords or literal-ish tokens, never variables.
+_NON_VARIABLE_WORDS = frozenset(
+    {
+        "if", "then", "else", "end", "endif", "do", "enddo", "call", "return",
+        "true", "false", "and", "or", "not", "min", "max", "sqrt", "exp", "log",
+        "abs", "sum", "where", "while",
+    }
+)
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_STRING_RE = re.compile(r"('([^']|'')*'|\"([^\"]|\"\")*\")")
+_CALL_RE = re.compile(r"^\s*call\s+([A-Za-z_][A-Za-z0-9_]*)\s*(\((.*)\))?\s*$", re.I)
+
+
+def _strip_strings(text: str) -> str:
+    """Replace string literals with spaces so their contents are not parsed."""
+    return _STRING_RE.sub(lambda m: " " * len(m.group(0)), text)
+
+
+def _split_top_level_assignment(text: str) -> Optional[tuple[str, str]]:
+    """Split ``text`` at the first top-level ``=`` that is a plain assignment."""
+    depth = 0
+    cleaned = _strip_strings(text)
+    i = 0
+    while i < len(cleaned):
+        ch = cleaned[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "=" and depth == 0:
+            prev = cleaned[i - 1] if i > 0 else ""
+            nxt = cleaned[i + 1] if i + 1 < len(cleaned) else ""
+            if prev in "<>=/!" or nxt in "=>":
+                i += 1
+                continue
+            return text[:i], text[i + 1 :]
+        i += 1
+    return None
+
+
+def _rhs_identifiers(rhs: str) -> list[str]:
+    """Every identifier appearing on the right-hand side, in order, deduplicated."""
+    seen: list[str] = []
+    for match in _IDENTIFIER_RE.finditer(_strip_strings(rhs)):
+        name = match.group(0).lower()
+        if name in _NON_VARIABLE_WORDS:
+            continue
+        # skip pure kind suffixes such as the r8 in 1.0_r8
+        start = match.start()
+        if start > 0 and rhs[start - 1] == "_" and start > 1 and rhs[start - 2].isdigit():
+            continue
+        if start > 0 and rhs[start - 1] == "_":
+            continue
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def _lhs_expression(lhs: str) -> Optional[Expr]:
+    """Build an lvalue expression from the left-hand-side text."""
+    lhs = lhs.strip()
+    if not lhs:
+        return None
+    # derived type reference a%b%c(...) -> nested DerivedRef with canonical name c
+    no_args = re.sub(r"\([^()]*\)", "", lhs)
+    parts = [p.strip() for p in no_args.split("%")]
+    if not parts or not _IDENTIFIER_RE.fullmatch(parts[0]):
+        return None
+    base: Expr = VarRef(name=parts[0].lower())
+    for comp in parts[1:]:
+        if not _IDENTIFIER_RE.fullmatch(comp):
+            return None
+        base = DerivedRef(base=base, component=comp.lower())
+    return base
+
+
+def parse_statement_fallback(text: str, loc: SourceLocation) -> Optional[Stmt]:
+    """Parse ``text`` into an approximate Assignment or CallStmt, or None.
+
+    Only data-flow-relevant statements are recovered; anything else returns
+    ``None`` so the caller records it as unparsed.
+    """
+    call_match = _CALL_RE.match(text)
+    if call_match:
+        name = call_match.group(1).lower()
+        arg_text = call_match.group(3) or ""
+        args: list[Expr] = [
+            VarRef(name=ident) for ident in _rhs_identifiers(arg_text)
+        ]
+        return CallStmt(name=name, args=args, location=loc)
+
+    split = _split_top_level_assignment(text)
+    if split is None:
+        return None
+    lhs_text, rhs_text = split
+    target = _lhs_expression(lhs_text)
+    if target is None:
+        return None
+    idents = _rhs_identifiers(rhs_text)
+    if not idents:
+        # constant assignment: still useful (defines the LHS node)
+        value: Expr = Apply(name="__fallback_const__", args=[])
+    elif len(idents) == 1:
+        value = VarRef(name=idents[0])
+    else:
+        value = Apply(name="__fallback_expr__", args=[VarRef(name=i) for i in idents])
+    return Assignment(target=target, value=value, location=loc, from_fallback=True)

@@ -1,0 +1,83 @@
+"""Fortran intrinsic procedures known to the front end and downstream passes.
+
+The graph builder needs to know which ``Apply`` nodes are intrinsic calls so
+it can localize them (paper §4.2: intrinsics are given unique per-call-site
+names such as ``min_100__modname`` to avoid spurious hub nodes), and the
+interpreter needs a runtime implementation for each (see
+:mod:`repro.runtime.intrinsics`).
+"""
+
+from __future__ import annotations
+
+#: Numeric / array intrinsics that appear in expressions.
+EXPRESSION_INTRINSICS: frozenset[str] = frozenset(
+    {
+        "abs",
+        "acos",
+        "aint",
+        "asin",
+        "atan",
+        "atan2",
+        "cos",
+        "cosh",
+        "dble",
+        "dim",
+        "epsilon",
+        "exp",
+        "floor",
+        "huge",
+        "int",
+        "log",
+        "log10",
+        "max",
+        "maxval",
+        "merge",
+        "min",
+        "minval",
+        "mod",
+        "nint",
+        "real",
+        "sign",
+        "sin",
+        "sinh",
+        "size",
+        "sqrt",
+        "sum",
+        "tan",
+        "tanh",
+        "tiny",
+        "gamma",
+        "erf",
+        "erfc",
+        "spread",
+        "reshape",
+        "matmul",
+        "dot_product",
+        "count",
+        "any",
+        "all",
+        "present",
+        "trim",
+        "adjustl",
+        "len_trim",
+    }
+)
+
+#: Intrinsic subroutines invoked with ``call``.
+SUBROUTINE_INTRINSICS: frozenset[str] = frozenset(
+    {
+        "random_seed",
+        "random_number",
+        "system_clock",
+        "cpu_time",
+        "date_and_time",
+        "get_command_argument",
+    }
+)
+
+ALL_INTRINSICS: frozenset[str] = EXPRESSION_INTRINSICS | SUBROUTINE_INTRINSICS
+
+
+def is_intrinsic(name: str) -> bool:
+    """True when ``name`` (case-insensitive) is a recognised Fortran intrinsic."""
+    return name.lower() in ALL_INTRINSICS

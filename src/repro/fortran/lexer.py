@@ -1,0 +1,202 @@
+"""Lexer for the Fortran subset used by the synthetic CESM-like model.
+
+The lexer operates on a single *logical* line (continuations already merged
+by the preprocessor) and produces a flat list of :class:`~repro.fortran.tokens.Token`
+objects.  Fortran is case-insensitive, so identifiers are lower-cased on the
+way in; string literal contents are preserved verbatim.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError, SourceLocation
+from .tokens import (
+    DOT_OPERATORS,
+    DOT_RELATIONAL_EQUIVALENTS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz_")
+_NAME_CHARS = _NAME_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+class Lexer:
+    """Tokenize one logical Fortran line.
+
+    Parameters
+    ----------
+    text:
+        The logical line text (no trailing comment, no continuation marks).
+    filename, line:
+        Used to build :class:`SourceLocation` objects for diagnostics.
+    """
+
+    def __init__(self, text: str, filename: str = "<string>", line: int = 0):
+        self.text = text
+        self.filename = filename
+        self.line = line
+        self.pos = 0
+        self.tokens: list[Token] = []
+
+    # ------------------------------------------------------------------ utils
+    def _loc(self, column: int | None = None) -> SourceLocation:
+        col = (self.pos + 1) if column is None else column
+        return SourceLocation(self.filename, self.line, col)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _emit(self, type_: TokenType, value: str, column: int) -> None:
+        self.tokens.append(Token(type_, value, self._loc(column)))
+
+    # ------------------------------------------------------------------ rules
+    def _lex_name(self) -> None:
+        start = self.pos
+        while self._peek() and self._peek().lower() in _NAME_CHARS:
+            self.pos += 1
+        value = self.text[start : self.pos].lower()
+        self._emit(TokenType.NAME, value, start + 1)
+
+    def _lex_number(self) -> None:
+        """Lex integer and real literals.
+
+        Handles Fortran forms: ``42``, ``3.14``, ``1.e-3``, ``1.0d0``,
+        ``8.1328e-3_r8``, ``0.20_r8``, ``.5`` (leading dot followed by digit).
+        """
+        start = self.pos
+        is_real = False
+        # integral part
+        while self._peek() in _DIGITS:
+            self.pos += 1
+        # fractional part: a dot is part of the number unless it starts a
+        # dot-operator such as ".and." (i.e. the dot is followed by a letter
+        # other than an exponent marker).
+        if self._peek() == ".":
+            nxt = self._peek(1).lower()
+            if nxt not in _NAME_START or nxt in {"e", "d"}:
+                is_real = True
+                self.pos += 1
+                while self._peek() in _DIGITS:
+                    self.pos += 1
+        # exponent
+        if self._peek().lower() in {"e", "d"}:
+            look = 1
+            if self._peek(look) in {"+", "-"}:
+                look += 1
+            if self._peek(look) in _DIGITS:
+                is_real = True
+                self.pos += 1  # e/d
+                if self._peek() in {"+", "-"}:
+                    self.pos += 1
+                while self._peek() in _DIGITS:
+                    self.pos += 1
+        # kind suffix, e.g. _r8
+        if self._peek() == "_" and self._peek(1).lower() in _NAME_START | _DIGITS:
+            self.pos += 1
+            while self._peek().lower() in _NAME_CHARS:
+                self.pos += 1
+            # a kind suffix implies a typed literal; reals keep is_real as set,
+            # integers with kind (e.g. 1_i8) remain integers.
+        value = self.text[start : self.pos].lower()
+        type_ = TokenType.REAL if (is_real or "." in value.split("_")[0]) else TokenType.INTEGER
+        self._emit(type_, value, start + 1)
+
+    def _lex_string(self) -> None:
+        quote = self._peek()
+        start = self.pos
+        self.pos += 1
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise LexError("unterminated string literal", self._loc(start + 1))
+            if ch == quote:
+                # doubled quote is an escaped quote
+                if self._peek(1) == quote:
+                    chars.append(quote)
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                break
+            chars.append(ch)
+            self.pos += 1
+        self._emit(TokenType.STRING, "".join(chars), start + 1)
+
+    def _lex_dot(self) -> bool:
+        """Try to lex a dot-delimited operator or logical constant.
+
+        Returns True when a token was produced.
+        """
+        rest = self.text[self.pos :].lower()
+        for word in (".true.", ".false."):
+            if rest.startswith(word):
+                self._emit(TokenType.LOGICAL, word, self.pos + 1)
+                self.pos += len(word)
+                return True
+        for op in sorted(DOT_OPERATORS, key=len, reverse=True):
+            if rest.startswith(op):
+                value = DOT_RELATIONAL_EQUIVALENTS.get(op)
+                if value is not None:
+                    self._emit(TokenType.OPERATOR, value, self.pos + 1)
+                else:
+                    self._emit(TokenType.DOTOP, op, self.pos + 1)
+                self.pos += len(op)
+                return True
+        return False
+
+    # ------------------------------------------------------------------ main
+    def tokenize(self) -> list[Token]:
+        """Return the token list for the line, terminated by an EOL token."""
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t":
+                self.pos += 1
+                continue
+            if ch == "!":
+                break  # comment until end of line
+            lower = ch.lower()
+            if lower in _NAME_START:
+                self._lex_name()
+                continue
+            if ch in _DIGITS:
+                self._lex_number()
+                continue
+            if ch == "." and self._peek(1) in _DIGITS:
+                self._lex_number()
+                continue
+            if ch == ".":
+                if self._lex_dot():
+                    continue
+                raise LexError(f"unexpected character {ch!r}", self._loc())
+            if ch in {"'", '"'}:
+                self._lex_string()
+                continue
+            if ch == ";":
+                self._emit(TokenType.EOL, ";", self.pos + 1)
+                self.pos += 1
+                continue
+            matched = False
+            for op in MULTI_CHAR_OPERATORS:
+                if self.text.startswith(op, self.pos):
+                    self._emit(TokenType.OPERATOR, op, self.pos + 1)
+                    self.pos += len(op)
+                    matched = True
+                    break
+            if matched:
+                continue
+            if ch in SINGLE_CHAR_OPERATORS:
+                self._emit(TokenType.OPERATOR, ch, self.pos + 1)
+                self.pos += 1
+                continue
+            raise LexError(f"unexpected character {ch!r}", self._loc())
+        self.tokens.append(Token(TokenType.EOL, "", self._loc()))
+        return self.tokens
+
+
+def tokenize_line(text: str, filename: str = "<string>", line: int = 0) -> list[Token]:
+    """Convenience wrapper: tokenize a single logical line."""
+    return Lexer(text, filename=filename, line=line).tokenize()

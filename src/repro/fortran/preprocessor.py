@@ -1,0 +1,183 @@
+"""Source preprocessing for the Fortran subset.
+
+The paper relies on KGen to replace preprocessor directives with their
+compile-time values before parsing.  We implement the equivalent directly:
+
+* strip comments (``!`` to end of line, respecting string literals);
+* merge continuation lines (trailing ``&``, optional leading ``&``);
+* evaluate a small set of C-preprocessor directives (``#ifdef``, ``#ifndef``,
+  ``#else``, ``#endif``, ``#define``) against the build configuration's
+  macro set, dropping code that is not compiled into the executable;
+* keep a mapping from each resulting *logical line* back to the physical
+  line number of its first statement so AST nodes (and therefore digraph
+  nodes) carry accurate line metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import PreprocessorError, SourceLocation
+
+
+@dataclass
+class LogicalLine:
+    """One logical statement line after preprocessing."""
+
+    text: str
+    line: int           # physical 1-based line number of the first piece
+    filename: str = "<string>"
+
+
+@dataclass
+class PreprocessResult:
+    """Output of :func:`preprocess`."""
+
+    lines: list[LogicalLine] = field(default_factory=list)
+    #: macros defined during processing (input macros plus #define'd ones)
+    macros: dict[str, str] = field(default_factory=dict)
+    #: physical line count of the input
+    physical_lines: int = 0
+
+
+def strip_comment(text: str) -> str:
+    """Remove a trailing ``!`` comment, ignoring ``!`` inside string literals."""
+    out = []
+    quote: str | None = None
+    for ch in text:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+            continue
+        if ch == "!":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _directive_parts(line: str) -> tuple[str, list[str]]:
+    parts = line.strip().split()
+    name = parts[0][1:].lower()  # drop leading '#'
+    return name, parts[1:]
+
+
+def preprocess(
+    source: str,
+    filename: str = "<string>",
+    macros: dict[str, str] | None = None,
+) -> PreprocessResult:
+    """Preprocess ``source`` and return logical lines ready for the lexer.
+
+    Parameters
+    ----------
+    source:
+        Full text of the Fortran file.
+    filename:
+        Name used in locations / diagnostics.
+    macros:
+        CPP macros considered defined for this build (e.g. the compset
+        configuration).  Only presence is tested by ``#ifdef``.
+    """
+    macros = dict(macros or {})
+    raw_lines = source.splitlines()
+    result = PreprocessResult(macros=macros, physical_lines=len(raw_lines))
+
+    # ----------------------------------------------------------------- CPP
+    # condition stack: each entry is (taking_branch, any_branch_taken)
+    stack: list[list[bool]] = []
+    kept: list[tuple[int, str]] = []  # (physical line number, text)
+    for idx, raw in enumerate(raw_lines, start=1):
+        stripped = raw.strip()
+        if stripped.startswith("#"):
+            name, args = _directive_parts(stripped)
+            loc = SourceLocation(filename, idx)
+            if name == "define":
+                if all(s[0] for s in stack):
+                    key = args[0] if args else ""
+                    macros[key] = args[1] if len(args) > 1 else "1"
+            elif name == "undef":
+                if all(s[0] for s in stack) and args:
+                    macros.pop(args[0], None)
+            elif name in ("ifdef", "ifndef"):
+                defined = bool(args) and args[0] in macros
+                take = defined if name == "ifdef" else not defined
+                stack.append([take, take])
+            elif name == "if":
+                # minimal support: "#if defined(X)" / "#if 0" / "#if 1"
+                expr = " ".join(args)
+                take = _eval_if_expression(expr, macros)
+                stack.append([take, take])
+            elif name == "else":
+                if not stack:
+                    raise PreprocessorError("#else without #if", loc)
+                stack[-1][0] = not stack[-1][1]
+                stack[-1][1] = stack[-1][1] or stack[-1][0]
+            elif name == "endif":
+                if not stack:
+                    raise PreprocessorError("#endif without #if", loc)
+                stack.pop()
+            elif name == "include":
+                # includes are not used by the synthetic model; ignore.
+                pass
+            else:
+                raise PreprocessorError(f"unsupported directive #{name}", loc)
+            continue
+        if all(s[0] for s in stack):
+            kept.append((idx, raw))
+    if stack:
+        raise PreprocessorError(
+            "unterminated #if block", SourceLocation(filename, len(raw_lines))
+        )
+
+    # ------------------------------------------------- comments/continuation
+    pending_text: str | None = None
+    pending_line = 0
+    for lineno, raw in kept:
+        text = strip_comment(raw).rstrip()
+        if not text.strip():
+            continue
+        body = text.strip()
+        if pending_text is not None:
+            # merge continuation: drop a leading '&' on the continued line
+            if body.startswith("&"):
+                body = body[1:].lstrip()
+            merged = pending_text + " " + body
+        else:
+            merged = body
+            pending_line = lineno
+        if merged.rstrip().endswith("&"):
+            pending_text = merged.rstrip()[:-1].rstrip()
+            continue
+        result.lines.append(LogicalLine(text=merged, line=pending_line, filename=filename))
+        pending_text = None
+    if pending_text is not None:
+        # trailing continuation with no following line: keep what we have
+        result.lines.append(
+            LogicalLine(text=pending_text, line=pending_line, filename=filename)
+        )
+    return result
+
+
+def _eval_if_expression(expr: str, macros: dict[str, str]) -> bool:
+    """Evaluate the tiny subset of ``#if`` expressions the model uses."""
+    expr = expr.strip()
+    if expr in {"0", "1"}:
+        return expr == "1"
+    expr_l = expr.replace(" ", "").lower()
+    if expr_l.startswith("defined(") and expr_l.endswith(")"):
+        return expr[expr.index("(") + 1 : expr.rindex(")")].strip() in macros
+    if expr_l.startswith("!defined(") and expr_l.endswith(")"):
+        return expr[expr.index("(") + 1 : expr.rindex(")")].strip() not in macros
+    # Fall back: a bare macro name is true when defined and non-zero.
+    value = macros.get(expr)
+    if value is None:
+        return False
+    try:
+        return int(value) != 0
+    except ValueError:
+        return True

@@ -1,0 +1,176 @@
+"""Token definitions for the Fortran-subset lexer.
+
+The subset covers the language features that the synthetic CESM-like model
+(:mod:`repro.model`) uses and that the paper's digraph construction must
+understand: modules, ``use`` statements (with renames and only-lists),
+derived-type definitions, declarations with attributes, subroutines,
+functions, assignments, ``call`` statements, ``if``/``do`` control flow,
+numeric literals with kind suffixes, strings, array/function references,
+derived-type component references (``state%omega``), and the usual
+arithmetic/relational/logical operators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import SourceLocation
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :class:`repro.fortran.lexer.Lexer`."""
+
+    NAME = "name"            # identifiers and keywords (keywords resolved by parser)
+    INTEGER = "integer"      # 42
+    REAL = "real"            # 1.0, 1.0e-3, 1.d0, 8.1328e-3_r8
+    STRING = "string"        # 'QRL' or "QRL"
+    OPERATOR = "operator"    # + - * / ** // == /= < <= > >= = => % :: : , ( )
+    LOGICAL = "logical"      # .true. .false.
+    DOTOP = "dotop"          # .and. .or. .not. .eqv. .neqv.
+    EOL = "eol"              # end of statement (newline or ';')
+    EOF = "eof"              # end of file
+
+
+#: Multi-character operators, longest first so the lexer can greedily match.
+MULTI_CHAR_OPERATORS: tuple[str, ...] = (
+    "::",
+    "**",
+    "//",
+    "==",
+    "/=",
+    "<=",
+    ">=",
+    "=>",
+)
+
+#: Single character operators / punctuation.
+SINGLE_CHAR_OPERATORS: tuple[str, ...] = (
+    "+", "-", "*", "/", "=", "<", ">", "(", ")", ",", ":", "%", ";",
+)
+
+#: Dot-delimited operators (Fortran logical/relational spellings).
+DOT_OPERATORS: frozenset[str] = frozenset(
+    {
+        ".and.",
+        ".or.",
+        ".not.",
+        ".eqv.",
+        ".neqv.",
+        ".lt.",
+        ".le.",
+        ".gt.",
+        ".ge.",
+        ".eq.",
+        ".ne.",
+    }
+)
+
+#: Mapping from old-style dot relational operators to modern spellings.
+DOT_RELATIONAL_EQUIVALENTS: dict[str, str] = {
+    ".lt.": "<",
+    ".le.": "<=",
+    ".gt.": ">",
+    ".ge.": ">=",
+    ".eq.": "==",
+    ".ne.": "/=",
+}
+
+#: Statement keywords recognised by the parser.  The lexer emits them as
+#: NAME tokens; keeping the set here lets the parser and the fallback parser
+#: share a single definition.
+KEYWORDS: frozenset[str] = frozenset(
+    {
+        "module",
+        "end",
+        "endmodule",
+        "endsubroutine",
+        "endfunction",
+        "endif",
+        "enddo",
+        "endtype",
+        "contains",
+        "use",
+        "only",
+        "implicit",
+        "none",
+        "integer",
+        "real",
+        "logical",
+        "character",
+        "type",
+        "parameter",
+        "intent",
+        "in",
+        "out",
+        "inout",
+        "save",
+        "public",
+        "private",
+        "allocatable",
+        "pointer",
+        "target",
+        "dimension",
+        "optional",
+        "elemental",
+        "pure",
+        "recursive",
+        "subroutine",
+        "function",
+        "result",
+        "call",
+        "if",
+        "then",
+        "else",
+        "elseif",
+        "do",
+        "while",
+        "return",
+        "stop",
+        "exit",
+        "cycle",
+        "select",
+        "case",
+        "where",
+        "interface",
+        "procedure",
+        "intrinsic",
+        "external",
+        "data",
+        "allocate",
+        "deallocate",
+        "nullify",
+        "continue",
+    }
+)
+
+
+@dataclass
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    type:
+        The :class:`TokenType` category.
+    value:
+        The token text.  Names are lower-cased (Fortran is case-insensitive);
+        strings keep their original content without the surrounding quotes.
+    location:
+        Position of the first character of the token.
+    """
+
+    type: TokenType
+    value: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def is_name(self, *names: str) -> bool:
+        """Return True when this token is a NAME matching any of ``names``."""
+        return self.type is TokenType.NAME and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        """Return True when this token is an OPERATOR matching any of ``ops``."""
+        return self.type is TokenType.OPERATOR and self.value in ops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.location})"

@@ -1,0 +1,32 @@
+"""Synthetic CESM/CAM-like climate model.
+
+The paper's pipeline operates on the CESM Fortran source tree.  This package
+provides the stand-in: a small but structurally faithful atmosphere model
+written in the Fortran subset understood by :mod:`repro.fortran`, organised
+into the same kinds of modules CAM has (a dynamical core, a tightly-coupled
+physics "core" — saturation vapor pressure, cloud fraction, macro/microphysics,
+radiation, vertical diffusion — surface components, infrastructure modules,
+and modules that are not compiled or not executed).
+
+The source is generated as text (see :mod:`repro.model.modules`) so that the
+entire paper pipeline — parsing, digraph construction, slicing, community
+detection, centrality ranking, runtime sampling — runs on real Fortran input,
+and the experiments inject bugs by patching that text
+(:mod:`repro.model.patches`).
+"""
+
+from .builder import ModelConfig, ModelSource, build_model_source
+from .patches import SourcePatch, get_patch, list_patches
+from .registry import COMPSET_FC5, ModuleSpec, iter_module_specs
+
+__all__ = [
+    "COMPSET_FC5",
+    "ModelConfig",
+    "ModelSource",
+    "ModuleSpec",
+    "SourcePatch",
+    "build_model_source",
+    "get_patch",
+    "iter_module_specs",
+    "list_patches",
+]

@@ -1,0 +1,48 @@
+"""Fortran source text of the synthetic CAM-like model, one Python module per
+model subsystem.  Each Python module exposes a ``SOURCES`` mapping from
+Fortran file name to source text; :mod:`repro.model.registry` assembles them
+into the full source tree.
+"""
+
+from . import (
+    convection,
+    driver,
+    dynamics,
+    infrastructure,
+    microphysics,
+    physics_wv,
+    radiation,
+    surface,
+    types as type_modules,
+    unused,
+    vertical_diffusion,
+)
+
+#: All source providers in build order (infrastructure first).
+SOURCE_PROVIDERS = (
+    infrastructure,
+    type_modules,
+    dynamics,
+    physics_wv,
+    microphysics,
+    convection,
+    radiation,
+    vertical_diffusion,
+    surface,
+    driver,
+    unused,
+)
+
+
+def all_sources() -> dict[str, str]:
+    """Merge every provider's ``SOURCES`` mapping into one dict."""
+    merged: dict[str, str] = {}
+    for provider in SOURCE_PROVIDERS:
+        for name, text in provider.SOURCES.items():
+            if name in merged:
+                raise ValueError(f"duplicate Fortran file name {name!r}")
+            merged[name] = text
+    return merged
+
+
+__all__ = ["SOURCE_PROVIDERS", "all_sources"]

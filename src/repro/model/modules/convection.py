@@ -1,0 +1,102 @@
+"""Convection modules: a deep convection scheme with a CAPE-like nonlinear
+trigger (the main source of perturbation growth in the synthetic model, as
+deep convection is in CAM) and a shallow convection / boundary-layer cloud
+adjustment.
+"""
+
+CONVECT_DEEP = """
+module convect_deep
+  use shr_kind_mod,  only: r8 => shr_kind_r8
+  use ppgrid,        only: pcols, pver
+  use physconst,     only: cpair, latvap, gravit, rair
+  use wv_saturation, only: qsat_water
+  use physics_types, only: physics_state, physics_ptend
+  use cam_history,   only: outfld
+  implicit none
+  private
+  public :: convect_deep_tend
+  real(r8), parameter :: tau_deep = 3600.0_r8
+  real(r8), parameter :: cape_threshold = 70.0_r8
+contains
+  subroutine convect_deep_tend(state, ptend, precc, dt, ncol)
+    type(physics_state), intent(in) :: state
+    type(physics_ptend), intent(inout) :: ptend
+    real(r8), intent(out) :: precc(pcols)
+    real(r8), intent(in) :: dt
+    integer, intent(in) :: ncol
+    integer :: i, k
+    real(r8) :: cape(pcols)
+    real(r8) :: buoyancy, parcel_t, env_t, qsat_env
+    real(r8) :: trigger, heating, drying, rain_production
+
+    do i = 1, ncol
+      cape(i) = 0.0_r8
+      parcel_t = state%t(i,pver) + 0.5_r8
+      do k = pver, 1, -1
+        env_t = state%t(i,k)
+        parcel_t = parcel_t - 6.5e-3_r8 * (state%zm(i,max(k-1,1)) - state%zm(i,k))
+        buoyancy = gravit * (parcel_t - env_t) / env_t
+        cape(i) = cape(i) + max(0.0_r8, buoyancy) * (state%zm(i,max(k-1,1)) - state%zm(i,k))
+      end do
+    end do
+
+    do i = 1, ncol
+      trigger = max(0.0_r8, cape(i) - cape_threshold)
+      trigger = trigger ** 1.5_r8 / (1.0_r8 + trigger)
+      rain_production = 0.0_r8
+      do k = 1, pver
+        qsat_env = qsat_water(state%t(i,k), state%pmid(i,k))
+        heating = trigger * 1.0e-5_r8 * cpair * max(0.0_r8, state%q(i,k) / max(qsat_env, 1.0e-10_r8) - 0.2_r8)
+        drying = heating / (latvap + cpair)
+        ptend%s(i,k) = ptend%s(i,k) + heating
+        ptend%q(i,k) = ptend%q(i,k) - drying
+        rain_production = rain_production + drying * state%pdel(i,k) / gravit
+      end do
+      precc(i) = max(0.0_r8, rain_production) / 1000.0_r8
+    end do
+
+    call outfld('PRECC', precc)
+    call outfld('CAPE', cape)
+  end subroutine convect_deep_tend
+end module convect_deep
+"""
+
+CONVECT_SHALLOW = """
+module convect_shallow
+  use shr_kind_mod,  only: r8 => shr_kind_r8
+  use ppgrid,        only: pcols, pver
+  use physconst,     only: cpair, latvap
+  use wv_saturation, only: qsat_water
+  use physics_types, only: physics_state, physics_ptend
+  implicit none
+  private
+  public :: convect_shallow_tend
+  real(r8), parameter :: tau_shallow = 7200.0_r8
+contains
+  subroutine convect_shallow_tend(state, ptend, cmfmc, dt, ncol)
+    type(physics_state), intent(in) :: state
+    type(physics_ptend), intent(inout) :: ptend
+    real(r8), intent(out) :: cmfmc(pcols, pver)
+    real(r8), intent(in) :: dt
+    integer, intent(in) :: ncol
+    integer :: i, k
+    real(r8) :: qsat_low, instability, moist_flux
+
+    do i = 1, ncol
+      qsat_low = qsat_water(state%t(i,pver), state%pmid(i,pver))
+      instability = max(0.0_r8, state%q(i,pver) / max(qsat_low, 1.0e-10_r8) - 0.7_r8)
+      do k = 1, pver
+        moist_flux = instability * exp(-(pver - k) * 0.8_r8) / tau_shallow
+        cmfmc(i,k) = moist_flux * 1000.0_r8
+        ptend%q(i,k) = ptend%q(i,k) + moist_flux * 0.002_r8
+        ptend%s(i,k) = ptend%s(i,k) - moist_flux * 0.002_r8 * latvap
+      end do
+    end do
+  end subroutine convect_shallow_tend
+end module convect_shallow
+"""
+
+SOURCES: dict[str, str] = {
+    "convect_deep.F90": CONVECT_DEEP,
+    "convect_shallow.F90": CONVECT_SHALLOW,
+}

@@ -1,0 +1,308 @@
+"""Top-level driver modules: initial conditions, the physics package driver
+(the CAM "core" call sequence), state/diagnostic history output, the
+component coupler (``cam_comp``), and a restart module that is compiled but
+never executed during the first time steps (coverage-filter fodder).
+"""
+
+INIDAT = """
+module inidat
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver
+  use physconst,      only: p0
+  use phys_grid,      only: clat, clon
+  use physics_types,  only: physics_state
+  use shr_random_mod, only: shr_random_uniform
+  implicit none
+  private
+  public :: read_initial_conditions
+contains
+  subroutine read_initial_conditions(state, pertlim, ncol)
+    type(physics_state), intent(inout) :: state
+    real(r8), intent(in) :: pertlim
+    integer, intent(in) :: ncol
+    integer :: i, k
+    real(r8) :: sigma, tbase, pert(pcols)
+
+    state%ncol = ncol
+    do i = 1, ncol
+      state%ps(i) = p0 + 800.0_r8 * cos(2.0_r8 * clon(i)) * cos(clat(i))
+      state%phis(i) = 120.0_r8 * max(0.0_r8, sin(3.0_r8 * clon(i)))
+    end do
+
+    do k = 1, pver
+      sigma = (k - 0.5_r8) / pver
+      do i = 1, ncol
+        tbase = 212.0_r8 + 76.0_r8 * sigma * cos(clat(i)) ** 0.5_r8
+        state%t(i,k) = tbase + 2.0_r8 * sin(clon(i) + k * 0.7_r8)
+        state%u(i,k) = 22.0_r8 * (1.0_r8 - sigma) * cos(clat(i)) + 3.0_r8 * sin(2.0_r8 * clon(i))
+        state%v(i,k) = 2.5_r8 * sin(clat(i)) * cos(clon(i) + sigma)
+        state%q(i,k) = 1.2e-2_r8 * sigma ** 1.5_r8 * cos(clat(i)) + 1.0e-6_r8
+        state%qc(i,k) = 1.0e-6_r8 * sigma
+        state%qi(i,k) = 2.0e-7_r8 * (1.0_r8 - sigma)
+        state%nc(i,k) = 5.0e7_r8 * sigma
+        state%ni(i,k) = 1.0e5_r8
+        state%omega(i,k) = 0.01_r8 * sin(clon(i) * 3.0_r8 + k)
+      end do
+    end do
+
+    do k = 1, pver
+      call shr_random_uniform(pert, ncol)
+      do i = 1, ncol
+        state%t(i,k) = state%t(i,k) * (1.0_r8 + pertlim * (2.0_r8 * pert(i) - 1.0_r8))
+      end do
+    end do
+  end subroutine read_initial_conditions
+end module inidat
+"""
+
+CAM_DIAGNOSTICS = """
+module cam_diagnostics
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver
+  use physconst,      only: gravit
+  use physics_types,  only: physics_state
+  use physics_buffer, only: pbuf_cld, pbuf_relhum
+  use cam_history,    only: outfld, outfld2d
+  implicit none
+  private
+  public :: diag_phys_writeout
+contains
+  subroutine diag_phys_writeout(state, ncol)
+    type(physics_state), intent(in) :: state
+    integer, intent(in) :: ncol
+    integer :: i, k
+    real(r8) :: z3(pcols, pver)
+    real(r8) :: omega(pcols, pver)
+    real(r8) :: t(pcols, pver)
+    real(r8) :: u(pcols, pver)
+    real(r8) :: v(pcols, pver)
+    real(r8) :: q(pcols, pver)
+    real(r8) :: omegat(pcols, pver)
+    real(r8) :: ps(pcols)
+
+    do k = 1, pver
+      do i = 1, ncol
+        z3(i,k) = state%zm(i,k) + state%phis(i) / gravit
+        omega(i,k) = state%omega(i,k)
+        t(i,k) = state%t(i,k)
+        u(i,k) = state%u(i,k)
+        v(i,k) = state%v(i,k)
+        q(i,k) = state%q(i,k)
+        omegat(i,k) = state%omega(i,k) * state%t(i,k)
+      end do
+    end do
+    do i = 1, ncol
+      ps(i) = state%ps(i)
+    end do
+
+    call outfld2d('Z3', z3)
+    call outfld2d('OMEGA', omega)
+    call outfld2d('T', t)
+    call outfld2d('UU', u)
+    call outfld2d('VV', v)
+    call outfld2d('Q', q)
+    call outfld2d('OMEGAT', omegat)
+    call outfld('PS', ps)
+    call outfld2d('CLOUD', pbuf_cld)
+    call outfld2d('RELHUM', pbuf_relhum)
+  end subroutine diag_phys_writeout
+end module cam_diagnostics
+"""
+
+PHYSPKG = """
+module physpkg
+  use shr_kind_mod,       only: r8 => shr_kind_r8
+  use ppgrid,             only: pcols, pver
+  use physconst,          only: latice, rhoh2o
+  use physics_types,      only: physics_state, physics_tend, physics_ptend, physics_update, physics_ptend_init
+  use camsrfexch,         only: cam_in_t, cam_out_t
+  use cloud_fraction,     only: cldfrc
+  use macrop_driver,      only: macrop_driver_tend
+  use microp_aero,        only: microp_aero_run
+  use micro_mg,           only: micro_mg_tend
+  use convect_deep,       only: convect_deep_tend
+  use convect_shallow,    only: convect_shallow_tend
+  use radiation,          only: radiation_tend
+  use vertical_diffusion, only: vertical_diffusion_tend
+  use surface_merge,      only: merge_surface_state
+  use cam_diagnostics,    only: diag_phys_writeout
+  use cam_history,        only: outfld
+  implicit none
+  private
+  public :: tphysbc
+contains
+  subroutine tphysbc(state, tend, ptend, cam_in, cam_out, dt, ncol)
+    type(physics_state), intent(inout) :: state
+    type(physics_tend),  intent(inout) :: tend
+    type(physics_ptend), intent(inout) :: ptend
+    type(cam_in_t),      intent(inout) :: cam_in
+    type(cam_out_t),     intent(inout) :: cam_out
+    real(r8), intent(in) :: dt
+    integer, intent(in) :: ncol
+    integer :: i
+    real(r8) :: cld(pcols, pver)
+    real(r8) :: concld(pcols, pver)
+    real(r8) :: cltot(pcols)
+    real(r8) :: cllow(pcols)
+    real(r8) :: clmed(pcols)
+    real(r8) :: clhgh(pcols)
+    real(r8) :: wsub(pcols)
+    real(r8) :: ccn(pcols, pver)
+    real(r8) :: prect(pcols)
+    real(r8) :: precsl(pcols)
+    real(r8) :: precc(pcols)
+    real(r8) :: qsout2(pcols, pver)
+    real(r8) :: nsout2(pcols, pver)
+    real(r8) :: freqs(pcols, pver)
+    real(r8) :: cmfmc(pcols, pver)
+    real(r8) :: ts_merged(pcols)
+    real(r8) :: flwds(pcols)
+    real(r8) :: flns(pcols)
+    real(r8) :: fsds(pcols)
+    real(r8) :: fsns(pcols)
+    real(r8) :: qrl(pcols, pver)
+    real(r8) :: qrs(pcols, pver)
+    real(r8) :: precl_total(pcols)
+
+    call physics_ptend_init(ptend)
+    call merge_surface_state(cam_in, ts_merged, ncol)
+
+    call cldfrc(state, cld, concld, cltot, cllow, clmed, clhgh, ncol)
+    call macrop_driver_tend(state, ptend, cld, dt, ncol)
+    call physics_update(state, ptend, dt)
+
+    call microp_aero_run(state, wsub, ccn, ncol)
+    call micro_mg_tend(state, ptend, cld, ccn, dt, prect, precsl, qsout2, nsout2, freqs, ncol)
+    call physics_update(state, ptend, dt)
+
+    call convect_deep_tend(state, ptend, precc, dt, ncol)
+    call convect_shallow_tend(state, ptend, cmfmc, dt, ncol)
+    call physics_update(state, ptend, dt)
+
+    call radiation_tend(state, ptend, ts_merged, flwds, flns, fsds, fsns, qrl, qrs, ncol)
+    call physics_update(state, ptend, dt)
+
+    call vertical_diffusion_tend(state, ptend, cam_in, ts_merged, dt, ncol)
+    call physics_update(state, ptend, dt)
+
+    do i = 1, ncol
+      precl_total(i) = prect(i) + precc(i)
+      cam_out%flwds(i) = flwds(i)
+      cam_out%netsw(i) = fsns(i)
+      cam_out%precl(i) = precl_total(i)
+      cam_out%precsl(i) = precsl(i)
+      cam_out%tbot(i) = state%t(i,pver)
+      cam_out%ubot(i) = state%u(i,pver)
+      cam_out%vbot(i) = state%v(i,pver)
+      cam_out%qbot(i) = state%q(i,pver)
+      cam_out%pbot(i) = state%pmid(i,pver)
+      cam_out%zbot(i) = state%zm(i,pver)
+    end do
+
+    call outfld('PRECL', precl_total)
+    call diag_phys_writeout(state, ncol)
+  end subroutine tphysbc
+end module physpkg
+"""
+
+CAM_COMP = """
+module cam_comp
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver
+  use phys_grid,      only: phys_grid_init, get_ncols_p
+  use dyn_grid,       only: dyn_grid_init
+  use dyn_comp,       only: dyn_init, dyn_run
+  use dyn_hydrostatic, only: compute_hydrostatic
+  use te_map,         only: te_fixer
+  use physics_types,  only: physics_tend_init, physics_ptend_init
+  use physics_buffer, only: pbuf_init
+  use camsrfexch,     only: hub2atm_alloc, atm2hub_alloc
+  use camstate,       only: state, tend, ptend, cam_in, cam_out
+  use inidat,         only: read_initial_conditions
+  use physpkg,        only: tphysbc
+  use lnd_comp,       only: lnd_init, lnd_run
+  use docn_comp,      only: docn_init, docn_run
+  use ice_comp,       only: ice_run
+  use cloud_fraction, only: cldfrc_init
+  use micro_mg,       only: micro_mg_init
+  use cam_history,    only: history_init, addfld
+  use shr_random_mod, only: shr_random_setseed
+  use time_manager,   only: timemgr_init, advance_timestep, get_step_size, get_nstep
+  implicit none
+  private
+  public :: cam_init, cam_run_step
+contains
+  subroutine cam_init(pertlim, seed)
+    real(r8), intent(in) :: pertlim
+    integer, intent(in) :: seed
+    integer :: ncol
+    call shr_random_setseed(seed)
+    call timemgr_init(1800.0_r8)
+    call history_init()
+    call addfld('T', 'K')
+    call addfld('WSUB', 'm/s')
+    call phys_grid_init()
+    call dyn_grid_init()
+    call dyn_init()
+    call pbuf_init()
+    call hub2atm_alloc(cam_in)
+    call atm2hub_alloc(cam_out)
+    call physics_tend_init(tend)
+    call physics_ptend_init(ptend)
+    call cldfrc_init(0.02_r8)
+    call micro_mg_init(400.0e-6_r8)
+    call lnd_init()
+    call docn_init()
+    ncol = get_ncols_p()
+    call read_initial_conditions(state, pertlim, ncol)
+    call compute_hydrostatic(state, ncol)
+  end subroutine cam_init
+
+  subroutine cam_run_step()
+    integer :: ncol
+    real(r8) :: dt
+    ncol = get_ncols_p()
+    dt = get_step_size()
+    call dyn_run(state, tend, dt, ncol)
+    call te_fixer(state, ncol)
+    call tphysbc(state, tend, ptend, cam_in, cam_out, dt, ncol)
+    call lnd_run(cam_out, cam_in, dt, ncol)
+    call docn_run(cam_in, ncol)
+    call ice_run(cam_in, ncol)
+    call advance_timestep()
+  end subroutine cam_run_step
+end module cam_comp
+"""
+
+RESTART_MOD = """
+module restart_mod
+  use shr_kind_mod,  only: r8 => shr_kind_r8
+  use ppgrid,        only: pcols, pver
+  use physics_types, only: physics_state
+  implicit none
+  private
+  public :: write_restart, read_restart
+  integer :: restart_count = 0
+contains
+  subroutine write_restart(state)
+    type(physics_state), intent(in) :: state
+    real(r8) :: checksum
+    checksum = sum(state%t) + sum(state%q) + sum(state%ps)
+    restart_count = restart_count + 1
+  end subroutine write_restart
+
+  subroutine read_restart(state)
+    type(physics_state), intent(inout) :: state
+    state%t = state%t + 0.0_r8
+    restart_count = restart_count + 1
+  end subroutine read_restart
+end module restart_mod
+"""
+
+SOURCES: dict[str, str] = {
+    "inidat.F90": INIDAT,
+    "cam_diagnostics.F90": CAM_DIAGNOSTICS,
+    "physpkg.F90": PHYSPKG,
+    "cam_comp.F90": CAM_COMP,
+    "restart_mod.F90": RESTART_MOD,
+}

@@ -1,0 +1,244 @@
+"""Dynamical core modules: hybrid vertical grid, hydrostatic/geopotential
+computation, the prognostic wind/surface-pressure/temperature update, and a
+total-energy fixer.  This is the "dynamics" half of the CAM core in the paper's
+community structure; the DYN3BUG and RANDOMBUG experiments patch lines here.
+"""
+
+DYN_GRID = """
+module dyn_grid
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols, pver, pverp
+  use physconst,    only: p0
+  implicit none
+  private
+  public :: dyn_grid_init, hyai, hybi, hyam, hybm, nbr_east, nbr_west, rdx
+  real(r8) :: hyai(pverp)
+  real(r8) :: hybi(pverp)
+  real(r8) :: hyam(pver)
+  real(r8) :: hybm(pver)
+  integer  :: nbr_east(pcols)
+  integer  :: nbr_west(pcols)
+  real(r8), parameter :: rdx = 5.0e-7_r8
+contains
+  subroutine dyn_grid_init()
+    integer :: i, k
+    real(r8) :: eta
+    do k = 1, pverp
+      eta = (k - 1.0_r8) / pver
+      hyai(k) = (1.0_r8 - eta) ** 2 * 0.2_r8
+      hybi(k) = eta ** 1.3_r8
+    end do
+    do k = 1, pver
+      hyam(k) = 0.5_r8 * (hyai(k) + hyai(k+1))
+      hybm(k) = 0.5_r8 * (hybi(k) + hybi(k+1))
+    end do
+    do i = 1, pcols
+      nbr_east(i) = i + 1
+      nbr_west(i) = i - 1
+    end do
+    nbr_east(pcols) = 1
+    nbr_west(1) = pcols
+  end subroutine dyn_grid_init
+end module dyn_grid
+"""
+
+DYN_HYDROSTATIC = """
+module dyn_hydrostatic
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols, pver, pverp
+  use physconst,    only: rair, gravit, zvir, p0, cappa
+  use dyn_grid,     only: hyai, hybi, hyam, hybm
+  use physics_types, only: physics_state
+  implicit none
+  private
+  public :: compute_hydrostatic
+contains
+  subroutine compute_hydrostatic(state, ncol)
+    type(physics_state), intent(inout) :: state
+    integer, intent(in) :: ncol
+    integer :: i, k
+    real(r8) :: tv(pcols, pver)
+    real(r8) :: dlnp(pcols, pver)
+    real(r8) :: thickness
+    do k = 1, pverp
+      do i = 1, ncol
+        state%pint(i,k) = hyai(k) * p0 + hybi(k) * state%ps(i)
+      end do
+    end do
+    do k = 1, pver
+      do i = 1, ncol
+        state%pmid(i,k) = hyam(k) * p0 + hybm(k) * state%ps(i)
+        state%pdel(i,k) = state%pint(i,k+1) - state%pint(i,k)
+        state%lnpmid(i,k) = log(state%pmid(i,k))
+        state%exner(i,k) = (state%pmid(i,k) / p0) ** cappa
+        tv(i,k) = state%t(i,k) * (1.0_r8 + zvir * state%q(i,k))
+        dlnp(i,k) = log(state%pint(i,k+1) / state%pint(i,k))
+      end do
+    end do
+    do i = 1, ncol
+      state%zi(i,pverp) = 0.0_r8
+    end do
+    do k = pver, 1, -1
+      do i = 1, ncol
+        thickness = rair * tv(i,k) * dlnp(i,k) / gravit
+        state%zi(i,k) = state%zi(i,k+1) + thickness
+        state%zm(i,k) = state%zi(i,k+1) + 0.5_r8 * thickness
+      end do
+    end do
+  end subroutine compute_hydrostatic
+end module dyn_hydrostatic
+"""
+
+DYN_COMP = """
+module dyn_comp
+  use shr_kind_mod,  only: r8 => shr_kind_r8
+  use ppgrid,        only: pcols, pver
+  use physconst,     only: rair, gravit, cpair, omega_earth, p0
+  use phys_grid,     only: clat
+  use dyn_grid,      only: nbr_east, nbr_west, rdx, hybm
+  use dyn_hydrostatic, only: compute_hydrostatic
+  use physics_types, only: physics_state, physics_tend
+  implicit none
+  private
+  public :: dyn_init, dyn_run
+  real(r8), parameter :: diffusion_coef = 0.02_r8
+  real(r8) :: fcor(pcols)
+contains
+  subroutine dyn_init()
+    integer :: i
+    do i = 1, pcols
+      fcor(i) = 2.0_r8 * omega_earth * sin(clat(i))
+    end do
+  end subroutine dyn_init
+
+  subroutine dyn_run(state, tend, dt, ncol)
+    type(physics_state), intent(inout) :: state
+    type(physics_tend),  intent(inout) :: tend
+    real(r8), intent(in) :: dt
+    integer, intent(in) :: ncol
+    integer :: i, k, ie, iw
+    real(r8) :: dudx(pcols, pver)
+    real(r8) :: dvdx(pcols, pver)
+    real(r8) :: dtdx(pcols, pver)
+    real(r8) :: dpdx(pcols, pver)
+    real(r8) :: divg(pcols, pver)
+    real(r8) :: omga(pcols, pver)
+    real(r8) :: unew(pcols, pver)
+    real(r8) :: vnew(pcols, pver)
+    real(r8) :: tnew(pcols, pver)
+    real(r8) :: psdot(pcols)
+    real(r8) :: adv_u, adv_v, adv_t, heat_adiabatic
+
+    call compute_hydrostatic(state, ncol)
+
+    do k = 1, pver
+      do i = 1, ncol
+        ie = nbr_east(i)
+        iw = nbr_west(i)
+        dudx(i,k) = (state%u(ie,k) - state%u(iw,k)) * rdx
+        dvdx(i,k) = (state%v(ie,k) - state%v(iw,k)) * rdx
+        dtdx(i,k) = (state%t(ie,k) - state%t(iw,k)) * rdx
+        dpdx(i,k) = (state%pmid(ie,k) - state%pmid(iw,k)) * rdx
+        divg(i,k) = dudx(i,k) + 0.3_r8 * dvdx(i,k)
+      end do
+    end do
+
+    do k = 1, pver
+      do i = 1, ncol
+        omga(i,k) = -state%pdel(i,k) * divg(i,k) + 0.05_r8 * state%omega(i,k)
+      end do
+    end do
+
+    do k = 1, pver
+      do i = 1, ncol
+        state%omega(i,k) = omga(i,k)
+      end do
+    end do
+
+    psdot = 0.0_r8
+    do k = 1, pver
+      do i = 1, ncol
+        psdot(i) = psdot(i) - divg(i,k) * state%pdel(i,k)
+      end do
+    end do
+
+    do k = 1, pver
+      do i = 1, ncol
+        ie = nbr_east(i)
+        iw = nbr_west(i)
+        adv_u = -state%u(i,k) * dudx(i,k)
+        adv_v = -state%u(i,k) * dvdx(i,k)
+        adv_t = -state%u(i,k) * dtdx(i,k)
+        heat_adiabatic = rair * state%t(i,k) * state%omega(i,k) / (cpair * state%pmid(i,k))
+        unew(i,k) = state%u(i,k) + dt * (adv_u + fcor(i) * state%v(i,k) - dpdx(i,k) / 1.2_r8)
+        vnew(i,k) = state%v(i,k) + dt * (adv_v - fcor(i) * state%u(i,k))
+        tnew(i,k) = state%t(i,k) + dt * (adv_t + heat_adiabatic)
+        unew(i,k) = unew(i,k) + diffusion_coef * (state%u(ie,k) - 2.0_r8 * state%u(i,k) + state%u(iw,k))
+        vnew(i,k) = vnew(i,k) + diffusion_coef * (state%v(ie,k) - 2.0_r8 * state%v(i,k) + state%v(iw,k))
+        tnew(i,k) = tnew(i,k) + diffusion_coef * (state%t(ie,k) - 2.0_r8 * state%t(i,k) + state%t(iw,k))
+      end do
+    end do
+
+    do k = 1, pver
+      do i = 1, ncol
+        tend%dudt(i,k) = (unew(i,k) - state%u(i,k)) / dt
+        tend%dvdt(i,k) = (vnew(i,k) - state%v(i,k)) / dt
+        tend%dtdt(i,k) = (tnew(i,k) - state%t(i,k)) / dt
+        state%u(i,k) = unew(i,k)
+        state%v(i,k) = vnew(i,k)
+        state%t(i,k) = tnew(i,k)
+      end do
+    end do
+
+    do i = 1, ncol
+      state%ps(i) = state%ps(i) + 0.02_r8 * dt * psdot(i)
+    end do
+
+    call compute_hydrostatic(state, ncol)
+  end subroutine dyn_run
+end module dyn_comp
+"""
+
+TE_MAP = """
+module te_map
+  use shr_kind_mod,  only: r8 => shr_kind_r8
+  use ppgrid,        only: pcols, pver
+  use physconst,     only: cpair, gravit
+  use physics_types, only: physics_state
+  implicit none
+  private
+  public :: te_fixer
+contains
+  subroutine te_fixer(state, ncol)
+    type(physics_state), intent(inout) :: state
+    integer, intent(in) :: ncol
+    integer :: i, k
+    real(r8) :: te_before(pcols)
+    real(r8) :: mass(pcols)
+    real(r8) :: te_mean, mass_total, correction
+    te_before = 0.0_r8
+    mass = 0.0_r8
+    do k = 1, pver
+      do i = 1, ncol
+        te_before(i) = te_before(i) + (cpair * state%t(i,k) + 0.5_r8 * (state%u(i,k)**2 + state%v(i,k)**2)) * state%pdel(i,k) / gravit
+        mass(i) = mass(i) + state%pdel(i,k) / gravit
+      end do
+    end do
+    te_mean = sum(te_before) / ncol
+    mass_total = sum(mass) / ncol
+    correction = 1.0e-9_r8 * te_mean / (cpair * mass_total)
+    do k = 1, pver
+      do i = 1, ncol
+        state%t(i,k) = state%t(i,k) - correction
+      end do
+    end do
+  end subroutine te_fixer
+end module te_map
+"""
+
+SOURCES: dict[str, str] = {
+    "dyn_grid.F90": DYN_GRID,
+    "dyn_hydrostatic.F90": DYN_HYDROSTATIC,
+    "dyn_comp.F90": DYN_COMP,
+    "te_map.F90": TE_MAP,
+}

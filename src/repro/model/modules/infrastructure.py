@@ -1,0 +1,314 @@
+"""Infrastructure modules: kinds, grid constants, physical constants,
+time manager, history buffer, PRNG shim, logging/abort utilities.
+
+These mirror CESM's ``csm_share`` / CAM control modules.  Several of the
+subprograms here are deliberately never called (``endrun_with_code``,
+``log_verbose`` ...) so that the coverage-filtering step of the pipeline has
+real work to do, exactly as the Intel codecov step does for CESM.
+"""
+
+SHR_KIND_MOD = """
+module shr_kind_mod
+  implicit none
+  public
+  integer, parameter :: shr_kind_r8 = 8
+  integer, parameter :: shr_kind_r4 = 4
+  integer, parameter :: shr_kind_i8 = 8
+  integer, parameter :: shr_kind_in = 4
+end module shr_kind_mod
+"""
+
+PPGRID = """
+module ppgrid
+  implicit none
+  public
+  integer, parameter :: pcols = 16
+  integer, parameter :: pver  = 8
+  integer, parameter :: pverp = 9
+  integer, parameter :: begchunk = 1
+  integer, parameter :: endchunk = 1
+end module ppgrid
+"""
+
+PHYSCONST = """
+module physconst
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  implicit none
+  public
+  real(r8), parameter :: pi      = 3.14159265358979323846_r8
+  real(r8), parameter :: gravit  = 9.80616_r8
+  real(r8), parameter :: rair    = 287.04_r8
+  real(r8), parameter :: cpair   = 1004.64_r8
+  real(r8), parameter :: rh2o    = 461.50_r8
+  real(r8), parameter :: latvap  = 2.501e6_r8
+  real(r8), parameter :: latice  = 3.337e5_r8
+  real(r8), parameter :: tmelt   = 273.15_r8
+  real(r8), parameter :: stebol  = 5.67e-8_r8
+  real(r8), parameter :: karman  = 0.4_r8
+  real(r8), parameter :: rhoh2o  = 1000.0_r8
+  real(r8), parameter :: epsilo  = 0.622_r8
+  real(r8), parameter :: zvir    = 0.608_r8
+  real(r8), parameter :: cappa   = 0.28571_r8
+  real(r8), parameter :: rearth  = 6.37122e6_r8
+  real(r8), parameter :: omega_earth = 7.292e-5_r8
+  real(r8), parameter :: p0      = 100000.0_r8
+end module physconst
+"""
+
+TIME_MANAGER = """
+module time_manager
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  implicit none
+  private
+  public :: get_nstep, advance_timestep, get_step_size, is_first_step, timemgr_init
+  integer :: nstep = 0
+  real(r8) :: dtime = 1800.0_r8
+contains
+  subroutine timemgr_init(dt)
+    real(r8), intent(in) :: dt
+    dtime = dt
+    nstep = 0
+  end subroutine timemgr_init
+
+  function get_nstep() result(n)
+    integer :: n
+    n = nstep
+  end function get_nstep
+
+  function get_step_size() result(dt)
+    real(r8) :: dt
+    dt = dtime
+  end function get_step_size
+
+  function is_first_step() result(flag)
+    logical :: flag
+    flag = nstep == 0
+  end function is_first_step
+
+  subroutine advance_timestep()
+    nstep = nstep + 1
+  end subroutine advance_timestep
+end module time_manager
+"""
+
+PHYS_GRID = """
+module phys_grid
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols
+  use physconst,    only: pi
+  implicit none
+  private
+  public :: phys_grid_init, get_ncols_p, get_area_all_p
+  public :: clat, clon, landfrac, area_weight
+  real(r8) :: clat(pcols)
+  real(r8) :: clon(pcols)
+  real(r8) :: landfrac(pcols)
+  real(r8) :: area_weight(pcols)
+  integer :: ncols_active = 16
+contains
+  subroutine phys_grid_init()
+    integer :: i
+    real(r8) :: dlat
+    dlat = pi / (pcols + 1)
+    do i = 1, pcols
+      clat(i) = -0.5_r8 * pi + dlat * i
+      clon(i) = 2.0_r8 * pi * (i - 1) / pcols
+      landfrac(i) = 0.5_r8 + 0.5_r8 * sin(3.0_r8 * clon(i)) * cos(clat(i))
+      landfrac(i) = max(0.0_r8, min(1.0_r8, landfrac(i)))
+      area_weight(i) = cos(clat(i))
+    end do
+  end subroutine phys_grid_init
+
+  function get_ncols_p() result(ncol)
+    integer :: ncol
+    ncol = ncols_active
+  end function get_ncols_p
+
+  subroutine get_area_all_p(wt)
+    real(r8), intent(out) :: wt(pcols)
+    wt = area_weight
+  end subroutine get_area_all_p
+end module phys_grid
+"""
+
+CAM_LOGFILE = """
+module cam_logfile
+  implicit none
+  public
+  integer :: iulog = 6
+  integer :: log_level = 1
+contains
+  subroutine set_log_level(level)
+    integer, intent(in) :: level
+    log_level = level
+  end subroutine set_log_level
+
+  subroutine log_verbose(level)
+    integer, intent(in) :: level
+    log_level = log_level + level
+  end subroutine log_verbose
+end module cam_logfile
+"""
+
+ABORTUTILS = """
+module abortutils
+  use cam_logfile, only: iulog
+  implicit none
+  private
+  public :: endrun
+  integer :: abort_count = 0
+contains
+  subroutine endrun(msg)
+    character(len=*), intent(in) :: msg
+    abort_count = abort_count + 1
+    stop 'endrun'
+  end subroutine endrun
+
+  subroutine endrun_with_code(code)
+    integer, intent(in) :: code
+    abort_count = abort_count + code
+    stop 'endrun'
+  end subroutine endrun_with_code
+end module abortutils
+"""
+
+SPMD_UTILS = """
+module spmd_utils
+  implicit none
+  public
+  integer :: masterprocid = 0
+  integer :: npes = 1
+  logical :: masterproc = .true.
+contains
+  subroutine spmd_init(ntasks)
+    integer, intent(in) :: ntasks
+    npes = ntasks
+    masterproc = .true.
+  end subroutine spmd_init
+
+  function get_npes() result(n)
+    integer :: n
+    n = npes
+  end function get_npes
+end module spmd_utils
+"""
+
+CAM_HISTORY = """
+module cam_history
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols, pver
+  implicit none
+  private
+  public :: addfld, outfld, history_init, nfld_registered, nout_calls
+  integer :: nfld_registered = 0
+  integer :: nout_calls = 0
+contains
+  subroutine history_init()
+    nfld_registered = 0
+    nout_calls = 0
+  end subroutine history_init
+
+  subroutine addfld(fname, units)
+    character(len=*), intent(in) :: fname
+    character(len=*), intent(in) :: units
+    nfld_registered = nfld_registered + 1
+  end subroutine addfld
+
+  subroutine outfld(fname, field)
+    character(len=*), intent(in) :: fname
+    real(r8), intent(in) :: field(pcols)
+    nout_calls = nout_calls + 1
+  end subroutine outfld
+
+  subroutine outfld2d(fname, field)
+    character(len=*), intent(in) :: fname
+    real(r8), intent(in) :: field(pcols, pver)
+    nout_calls = nout_calls + 1
+  end subroutine outfld2d
+end module cam_history
+"""
+
+SHR_RANDOM_MOD = """
+module shr_random_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  implicit none
+  private
+  public :: shr_random_setseed, shr_random_uniform, random_call_count
+  integer :: seed_state = 12345
+  integer :: random_call_count = 0
+contains
+  subroutine shr_random_setseed(seed)
+    integer, intent(in) :: seed
+    seed_state = seed
+  end subroutine shr_random_setseed
+
+  subroutine shr_random_uniform(harvest, n)
+    integer, intent(in) :: n
+    real(r8), intent(out) :: harvest(n)
+    random_call_count = random_call_count + 1
+    harvest = 0.5_r8
+  end subroutine shr_random_uniform
+end module shr_random_mod
+"""
+
+CONSTITUENTS = """
+module constituents
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  implicit none
+  public
+  integer, parameter :: pcnst = 4
+  integer, parameter :: ixq   = 1
+  integer, parameter :: ixcldliq = 2
+  integer, parameter :: ixcldice = 3
+  integer, parameter :: ixnumliq = 4
+  real(r8), parameter :: qmin_vapor = 1.0e-12_r8
+  real(r8), parameter :: qmin_cld   = 1.0e-14_r8
+contains
+  function cnst_get_ind(name) result(ind)
+    character(len=*), intent(in) :: name
+    integer :: ind
+    ind = 1
+  end function cnst_get_ind
+end module constituents
+"""
+
+PHYSICS_BUFFER = """
+module physics_buffer
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols, pver, pverp
+  implicit none
+  private
+  public :: pbuf_init, pbuf_cld, pbuf_concld, pbuf_tke, pbuf_qcwat, pbuf_tcwat, pbuf_relhum
+  real(r8), public :: pbuf_cld(pcols, pver)
+  real(r8), public :: pbuf_concld(pcols, pver)
+  real(r8), public :: pbuf_tke(pcols, pverp)
+  real(r8), public :: pbuf_qcwat(pcols, pver)
+  real(r8), public :: pbuf_tcwat(pcols, pver)
+  real(r8), public :: pbuf_relhum(pcols, pver)
+contains
+  subroutine pbuf_init()
+    pbuf_cld = 0.0_r8
+    pbuf_concld = 0.0_r8
+    pbuf_tke = 0.01_r8
+    pbuf_qcwat = 0.0_r8
+    pbuf_tcwat = 0.0_r8
+    pbuf_relhum = 0.0_r8
+  end subroutine pbuf_init
+end module physics_buffer
+"""
+
+#: Mapping from Fortran file name to source text.
+SOURCES: dict[str, str] = {
+    "shr_kind_mod.F90": SHR_KIND_MOD,
+    "ppgrid.F90": PPGRID,
+    "physconst.F90": PHYSCONST,
+    "time_manager.F90": TIME_MANAGER,
+    "phys_grid.F90": PHYS_GRID,
+    "cam_logfile.F90": CAM_LOGFILE,
+    "abortutils.F90": ABORTUTILS,
+    "spmd_utils.F90": SPMD_UTILS,
+    "cam_history.F90": CAM_HISTORY,
+    "shr_random_mod.F90": SHR_RANDOM_MOD,
+    "constituents.F90": CONSTITUENTS,
+    "physics_buffer.F90": PHYSICS_BUFFER,
+}

@@ -1,0 +1,250 @@
+"""Microphysics modules: aerosol/sub-grid-velocity preprocessing
+(``microp_aero``, the WSUBBUG target) and a Morrison–Gettelman-flavoured
+two-moment stratiform microphysics scheme (``micro_mg``, the module whose
+variables the AVX2/FMA experiment analyses).
+
+``micro_mg_tend`` deliberately reuses the temporary ``dum`` and the limiter
+``ratio`` across many process-rate calculations, as the real MG1 scheme does:
+the paper finds ``dum`` to be the node with the largest eigenvector
+in-centrality in the AVX2 subgraph.
+"""
+
+MICROP_AERO = """
+module microp_aero
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver
+  use phys_grid,      only: landfrac
+  use physics_types,  only: physics_state
+  use physics_buffer, only: pbuf_relhum
+  use cam_history,    only: outfld, outfld2d
+  implicit none
+  private
+  public :: microp_aero_run
+  real(r8), parameter :: wsubmin = 0.20_r8
+  real(r8), parameter :: naer_ocean = 1.0e8_r8
+  real(r8), parameter :: naer_land  = 3.0e8_r8
+contains
+  subroutine microp_aero_run(state, wsub, ccn, ncol)
+    type(physics_state), intent(in) :: state
+    integer, intent(in) :: ncol
+    real(r8), intent(out) :: wsub(pcols)
+    real(r8), intent(out) :: ccn(pcols, pver)
+    integer :: i, k
+    real(r8) :: tkebg(pcols)
+    real(r8) :: naer(pcols)
+    real(r8) :: supersat
+
+    do i = 1, ncol
+      tkebg(i) = 0.01_r8 + 0.04_r8 * landfrac(i)
+    end do
+    do i = 1, ncol
+      wsub(i) = 0.20_r8 * sqrt(1.0_r8 + 25.0_r8 * tkebg(i))
+    end do
+    call outfld('WSUB', wsub)
+
+    do i = 1, ncol
+      naer(i) = naer_ocean + (naer_land - naer_ocean) * landfrac(i)
+    end do
+    do k = 1, pver
+      do i = 1, ncol
+        supersat = max(0.0_r8, pbuf_relhum(i,k) - 0.95_r8)
+        ccn(i,k) = naer(i) * (0.1_r8 + 4.0_r8 * supersat)
+      end do
+    end do
+    call outfld2d('CCN3', ccn)
+  end subroutine microp_aero_run
+end module microp_aero
+"""
+
+MICRO_MG = """
+module micro_mg
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver
+  use physconst,      only: latvap, latice, cpair, rhoh2o, gravit, tmelt, rair
+  use wv_saturation,  only: qsat_water, svp_ice
+  use physics_types,  only: physics_state, physics_ptend
+  use cam_history,    only: outfld, outfld2d
+  implicit none
+  private
+  public :: micro_mg_init, micro_mg_tend
+  real(r8), parameter :: qsmall  = 1.0e-18_r8
+  real(r8), parameter :: autoconv_coef = 1350.0_r8
+  real(r8), parameter :: accretion_coef = 67.0_r8
+  real(r8), parameter :: snow_agg_coef = 0.1_r8
+  real(r8) :: mg_dcs = 400.0e-6_r8
+contains
+  subroutine micro_mg_init(dcs)
+    real(r8), intent(in) :: dcs
+    mg_dcs = dcs
+  end subroutine micro_mg_init
+
+  subroutine micro_mg_tend(state, ptend, cld, ccn, dt, prect, precsl, qsout2, nsout2, freqs, ncol)
+    type(physics_state), intent(in) :: state
+    type(physics_ptend), intent(inout) :: ptend
+    real(r8), intent(in) :: cld(pcols, pver)
+    real(r8), intent(in) :: ccn(pcols, pver)
+    real(r8), intent(in) :: dt
+    integer, intent(in) :: ncol
+    real(r8), intent(out) :: prect(pcols)
+    real(r8), intent(out) :: precsl(pcols)
+    real(r8), intent(out) :: qsout2(pcols, pver)
+    real(r8), intent(out) :: nsout2(pcols, pver)
+    real(r8), intent(out) :: freqs(pcols, pver)
+
+    integer :: i, k
+    real(r8) :: dum, ratio
+    real(r8) :: rho(pcols, pver)
+    real(r8) :: qcic(pcols, pver)
+    real(r8) :: qiic(pcols, pver)
+    real(r8) :: ncic(pcols, pver)
+    real(r8) :: niic(pcols, pver)
+    real(r8) :: qric(pcols, pver)
+    real(r8) :: nric(pcols, pver)
+    real(r8) :: qniic(pcols, pver)
+    real(r8) :: nsic(pcols, pver)
+    real(r8) :: qctend(pcols, pver)
+    real(r8) :: qitend(pcols, pver)
+    real(r8) :: nctend(pcols, pver)
+    real(r8) :: nitend(pcols, pver)
+    real(r8) :: qvlat(pcols, pver)
+    real(r8) :: tlat(pcols, pver)
+    real(r8) :: qsout(pcols, pver)
+    real(r8) :: nsout(pcols, pver)
+    real(r8) :: prc, pra, mnuccc, psacws, prci, prai, prds, pre, nnuccd
+    real(r8) :: nprc, npra, nnuccc, nsagg, nsubr, npsacws
+    real(r8) :: esi, qvi, berg, cldm, icldm, lcldm
+    real(r8) :: rainflux, snowflux, rainnum, snownum
+
+    do k = 1, pver
+      do i = 1, ncol
+        rho(i,k) = state%pmid(i,k) / (rair * state%t(i,k))
+        qctend(i,k) = 0.0_r8
+        qitend(i,k) = 0.0_r8
+        nctend(i,k) = 0.0_r8
+        nitend(i,k) = 0.0_r8
+        qvlat(i,k) = 0.0_r8
+        tlat(i,k) = 0.0_r8
+        qsout(i,k) = 0.0_r8
+        nsout(i,k) = 0.0_r8
+        qric(i,k) = 0.0_r8
+        nric(i,k) = 0.0_r8
+        qniic(i,k) = 0.0_r8
+        nsic(i,k) = 0.0_r8
+      end do
+    end do
+
+    do i = 1, ncol
+      rainflux = 0.0_r8
+      snowflux = 0.0_r8
+      rainnum = 0.0_r8
+      snownum = 0.0_r8
+      do k = 1, pver
+        cldm = max(0.001_r8, cld(i,k))
+        lcldm = max(0.001_r8, cld(i,k) * (1.0_r8 - 0.3_r8 * min(1.0_r8, max(0.0_r8, (tmelt - state%t(i,k)) / 20.0_r8))))
+        icldm = max(0.001_r8, cldm - lcldm + 0.001_r8)
+
+        dum = state%qc(i,k) / lcldm
+        qcic(i,k) = min(5.0e-3_r8, max(0.0_r8, dum))
+        dum = state%qi(i,k) / icldm
+        qiic(i,k) = min(5.0e-3_r8, max(0.0_r8, dum))
+        dum = state%nc(i,k) / lcldm
+        ncic(i,k) = max(0.0_r8, dum)
+        dum = state%ni(i,k) / icldm
+        niic(i,k) = max(0.0_r8, dum)
+
+        qric(i,k) = rainflux / (rho(i,k) * 2.0_r8)
+        nric(i,k) = rainnum / (rho(i,k) * 2.0_r8)
+        qniic(i,k) = snowflux / (rho(i,k) * 2.0_r8)
+        nsic(i,k) = snownum / (rho(i,k) * 2.0_r8)
+
+        prc = autoconv_coef * qcic(i,k) ** 2.47_r8 * (max(ncic(i,k), 1.0e6_r8) / 1.0e6_r8) ** (-1.79_r8)
+        nprc = prc / (4.0_r8 / 3.0_r8 * 3.14159_r8 * rhoh2o * 25.0e-6_r8 ** 3)
+        pra = accretion_coef * (qcic(i,k) * qric(i,k)) ** 1.15_r8
+        npra = pra / 2.6e-10_r8
+        dum = exp(0.3_r8 * (tmelt - state%t(i,k)))
+        mnuccc = 0.005_r8 * qcic(i,k) * min(dum, 100.0_r8) * 1.0e-4_r8
+        nnuccc = mnuccc / 4.2e-15_r8
+        psacws = 0.05_r8 * qcic(i,k) * qniic(i,k) * rho(i,k)
+        npsacws = psacws / 2.6e-10_r8
+        prci = 0.001_r8 * max(0.0_r8, qiic(i,k) - 1.0e-5_r8)
+        prai = 0.02_r8 * qiic(i,k) * qniic(i,k) * rho(i,k)
+        nsagg = snow_agg_coef * qniic(i,k) * rho(i,k) * nsic(i,k) * 1.0e-3_r8
+        nnuccd = 0.01_r8 * ccn(i,k) * max(0.0_r8, 1.0_r8 - state%t(i,k) / tmelt)
+
+        esi = svp_ice(state%t(i,k))
+        qvi = 0.622_r8 * esi / max(state%pmid(i,k) - 0.378_r8 * esi, 1.0_r8)
+        dum = (state%q(i,k) - qvi) / (1.0_r8 + 2.0e6_r8 ** 2 * qvi / (cpair * 461.5_r8 * state%t(i,k) ** 2))
+        berg = max(0.0_r8, 0.001_r8 * dum * min(1.0_r8, icldm * 10.0_r8))
+        prds = 5.0e-6_r8 * qniic(i,k) * rho(i,k) * (state%q(i,k) / max(qvi, 1.0e-12_r8) - 1.0_r8)
+        pre = -2.0e-5_r8 * qric(i,k) * rho(i,k) * max(0.0_r8, 1.0_r8 - state%q(i,k) / max(qsat_water(state%t(i,k), state%pmid(i,k)), 1.0e-12_r8))
+
+        dum = (prc + pra + mnuccc + psacws + berg) * dt
+        if (dum > state%qc(i,k)) then
+          ratio = state%qc(i,k) / max(dum, qsmall)
+          prc = prc * ratio
+          pra = pra * ratio
+          mnuccc = mnuccc * ratio
+          psacws = psacws * ratio
+          berg = berg * ratio
+        end if
+
+        dum = (prci + prai - mnuccc - berg) * dt
+        if (dum > state%qi(i,k)) then
+          ratio = state%qi(i,k) / max(dum, qsmall)
+          prci = prci * ratio
+          prai = prai * ratio
+        end if
+
+        qctend(i,k) = qctend(i,k) - (prc + pra + mnuccc + psacws + berg)
+        qitend(i,k) = qitend(i,k) + mnuccc + berg - prci - prai
+        nctend(i,k) = nctend(i,k) - (nprc + npra + nnuccc + npsacws)
+        nitend(i,k) = nitend(i,k) + nnuccc + nnuccd - nsagg
+        qvlat(i,k) = qvlat(i,k) - pre - prds
+        tlat(i,k) = tlat(i,k) + latvap * (prc + pra + psacws + pre) + (latvap + latice) * (mnuccc + berg + prds)
+
+        rainflux = rainflux + (prc + pra + pre) * rho(i,k) * state%pdel(i,k) / (rho(i,k) * gravit)
+        rainflux = max(0.0_r8, rainflux)
+        snowflux = snowflux + (prci + prai + psacws + mnuccc + prds) * state%pdel(i,k) / gravit
+        snowflux = max(0.0_r8, snowflux)
+        rainnum = max(0.0_r8, rainnum + nprc * state%pdel(i,k) / gravit)
+        snownum = max(0.0_r8, snownum + nsagg * state%pdel(i,k) / gravit)
+
+        qsout(i,k) = qniic(i,k) * cldm
+        nsout(i,k) = nsic(i,k) * cldm
+        qsout2(i,k) = qsout(i,k)
+        nsout2(i,k) = nsout(i,k)
+        if (qsout(i,k) > 1.0e-7_r8) then
+          freqs(i,k) = 1.0_r8
+        else
+          freqs(i,k) = 0.0_r8
+        end if
+      end do
+
+      prect(i) = (rainflux + snowflux) / rhoh2o
+      precsl(i) = snowflux / rhoh2o
+    end do
+
+    do k = 1, pver
+      do i = 1, ncol
+        ptend%qc(i,k) = ptend%qc(i,k) + qctend(i,k)
+        ptend%qi(i,k) = ptend%qi(i,k) + qitend(i,k)
+        ptend%nc(i,k) = ptend%nc(i,k) + nctend(i,k)
+        ptend%ni(i,k) = ptend%ni(i,k) + nitend(i,k)
+        ptend%q(i,k)  = ptend%q(i,k) + qvlat(i,k)
+        ptend%s(i,k)  = ptend%s(i,k) + tlat(i,k)
+      end do
+    end do
+
+    call outfld2d('AQSNOW', qsout2)
+    call outfld2d('ANSNOW', nsout2)
+    call outfld2d('FREQS', freqs)
+    call outfld('PRECT', prect)
+    call outfld('PRECSL', precsl)
+  end subroutine micro_mg_tend
+end module micro_mg
+"""
+
+SOURCES: dict[str, str] = {
+    "microp_aero.F90": MICROP_AERO,
+    "micro_mg.F90": MICRO_MG,
+}

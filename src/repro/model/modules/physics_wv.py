@@ -1,0 +1,226 @@
+"""Water-vapour / cloud macrophysics modules: Goff–Gratch saturation vapour
+pressure (GOFFGRATCH experiment target), relative humidity, stochastic cloud
+fraction (the module whose PRNG-derived variables are the RAND-MT "bug"
+locations), and a simple macrophysics / large-scale condensation scheme.
+"""
+
+WV_SATURATION = """
+module wv_saturation
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols, pver
+  use physconst,    only: epsilo, tmelt
+  implicit none
+  private
+  public :: goffgratch_svp, svp_ice, qsat_water, aqsat, rh_calc
+contains
+  elemental function goffgratch_svp(t) result(es)
+    real(r8), intent(in) :: t
+    real(r8) :: es
+    real(r8) :: ts, logterm, term1, term2, term3
+    ts = 373.16_r8
+    term1 = -7.90298_r8 * (ts / t - 1.0_r8) + 5.02808_r8 * log10(ts / t)
+    term2 = -1.3816e-7_r8 * (10.0_r8 ** (11.344_r8 * (1.0_r8 - t / ts)) - 1.0_r8)
+    term3 = 8.1328e-3_r8 * (10.0_r8 ** (-3.49149_r8 * (ts / t - 1.0_r8)) - 1.0_r8)
+    logterm = term1 + term2 + term3 + log10(1013.246_r8)
+    es = 100.0_r8 * 10.0_r8 ** logterm
+  end function goffgratch_svp
+
+  elemental function svp_ice(t) result(es)
+    real(r8), intent(in) :: t
+    real(r8) :: es
+    real(r8) :: ts, logterm
+    ts = 273.16_r8
+    logterm = -9.09718_r8 * (ts / t - 1.0_r8) - 3.56654_r8 * log10(ts / t) + 0.876793_r8 * (1.0_r8 - t / ts)
+    es = 100.0_r8 * 6.1071_r8 * 10.0_r8 ** logterm
+  end function svp_ice
+
+  elemental function qsat_water(t, p) result(qs)
+    real(r8), intent(in) :: t
+    real(r8), intent(in) :: p
+    real(r8) :: qs
+    real(r8) :: es
+    es = goffgratch_svp(t)
+    es = min(es, 0.5_r8 * p)
+    qs = epsilo * es / (p - (1.0_r8 - epsilo) * es)
+  end function qsat_water
+
+  subroutine aqsat(t, p, es, qs, ncol)
+    integer, intent(in) :: ncol
+    real(r8), intent(in) :: t(pcols, pver)
+    real(r8), intent(in) :: p(pcols, pver)
+    real(r8), intent(out) :: es(pcols, pver)
+    real(r8), intent(out) :: qs(pcols, pver)
+    integer :: i, k
+    do k = 1, pver
+      do i = 1, ncol
+        es(i,k) = goffgratch_svp(t(i,k))
+        es(i,k) = min(es(i,k), 0.5_r8 * p(i,k))
+        qs(i,k) = epsilo * es(i,k) / (p(i,k) - (1.0_r8 - epsilo) * es(i,k))
+      end do
+    end do
+  end subroutine aqsat
+
+  subroutine rh_calc(t, p, q, relhum, ncol)
+    integer, intent(in) :: ncol
+    real(r8), intent(in) :: t(pcols, pver)
+    real(r8), intent(in) :: p(pcols, pver)
+    real(r8), intent(in) :: q(pcols, pver)
+    real(r8), intent(out) :: relhum(pcols, pver)
+    real(r8) :: esat(pcols, pver)
+    real(r8) :: qsat(pcols, pver)
+    call aqsat(t, p, esat, qsat, ncol)
+    relhum = min(1.2_r8, max(0.0_r8, q / qsat))
+  end subroutine rh_calc
+end module wv_saturation
+"""
+
+CLOUD_FRACTION = """
+module cloud_fraction
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver
+  use physconst,      only: tmelt
+  use wv_saturation,  only: rh_calc
+  use shr_random_mod, only: shr_random_uniform
+  use physics_types,  only: physics_state
+  use physics_buffer, only: pbuf_cld, pbuf_concld, pbuf_relhum
+  use cam_history,    only: outfld
+  implicit none
+  private
+  public :: cldfrc_init, cldfrc
+  real(r8), parameter :: rhminl = 0.85_r8
+  real(r8), parameter :: rhminh = 0.70_r8
+  real(r8), parameter :: premib = 70000.0_r8
+  real(r8) :: perturbation_scale = 0.02_r8
+contains
+  subroutine cldfrc_init(scale)
+    real(r8), intent(in) :: scale
+    perturbation_scale = scale
+  end subroutine cldfrc_init
+
+  subroutine cldfrc(state, cld, concld, cltot, cllow, clmed, clhgh, ncol)
+    type(physics_state), intent(in) :: state
+    integer, intent(in) :: ncol
+    real(r8), intent(out) :: cld(pcols, pver)
+    real(r8), intent(out) :: concld(pcols, pver)
+    real(r8), intent(out) :: cltot(pcols)
+    real(r8), intent(out) :: cllow(pcols)
+    real(r8), intent(out) :: clmed(pcols)
+    real(r8), intent(out) :: clhgh(pcols)
+    integer :: i, k
+    real(r8) :: relhum(pcols, pver)
+    real(r8) :: rhseed(pcols)
+    real(r8) :: rhpert(pcols, pver)
+    real(r8) :: rhlim, rhdif, cldrh, clrsky
+
+    call rh_calc(state%t, state%pmid, state%q, relhum, ncol)
+
+    do k = 1, pver
+      call shr_random_uniform(rhseed, ncol)
+      do i = 1, ncol
+        rhpert(i,k) = perturbation_scale * (rhseed(i) - 0.5_r8)
+      end do
+    end do
+
+    do k = 1, pver
+      do i = 1, ncol
+        if (state%pmid(i,k) > premib) then
+          rhlim = rhminl
+        else
+          rhlim = rhminh
+        end if
+        rhdif = (relhum(i,k) + rhpert(i,k) - rhlim) / (1.0_r8 - rhlim)
+        cldrh = min(0.999_r8, max(rhdif, 0.0_r8)) ** 2
+        concld(i,k) = 0.04_r8 * min(1.0_r8, max(0.0_r8, relhum(i,k) + rhpert(i,k)))
+        cld(i,k) = min(0.999_r8, cldrh + concld(i,k))
+      end do
+    end do
+
+    do i = 1, ncol
+      cltot(i) = 1.0_r8
+      cllow(i) = 1.0_r8
+      clmed(i) = 1.0_r8
+      clhgh(i) = 1.0_r8
+    end do
+    do k = 1, pver
+      do i = 1, ncol
+        clrsky = 1.0_r8 - cld(i,k)
+        cltot(i) = cltot(i) * clrsky
+        if (state%pmid(i,k) > 70000.0_r8) then
+          cllow(i) = cllow(i) * clrsky
+        else if (state%pmid(i,k) > 40000.0_r8) then
+          clmed(i) = clmed(i) * clrsky
+        else
+          clhgh(i) = clhgh(i) * clrsky
+        end if
+      end do
+    end do
+    do i = 1, ncol
+      cltot(i) = 1.0_r8 - cltot(i)
+      cllow(i) = 1.0_r8 - cllow(i)
+      clmed(i) = 1.0_r8 - clmed(i)
+      clhgh(i) = 1.0_r8 - clhgh(i)
+    end do
+
+    do k = 1, pver
+      do i = 1, ncol
+        pbuf_cld(i,k) = cld(i,k)
+        pbuf_concld(i,k) = concld(i,k)
+        pbuf_relhum(i,k) = relhum(i,k)
+      end do
+    end do
+
+    call outfld('CLDTOT', cltot)
+    call outfld('CLDLOW', cllow)
+    call outfld('CLDMED', clmed)
+    call outfld('CLDHGH', clhgh)
+  end subroutine cldfrc
+end module cloud_fraction
+"""
+
+MACROP_DRIVER = """
+module macrop_driver
+  use shr_kind_mod,  only: r8 => shr_kind_r8
+  use ppgrid,        only: pcols, pver
+  use physconst,     only: latvap, cpair, tmelt
+  use wv_saturation, only: qsat_water
+  use physics_types, only: physics_state, physics_ptend
+  implicit none
+  private
+  public :: macrop_driver_tend
+  real(r8), parameter :: cond_timescale = 3600.0_r8
+contains
+  subroutine macrop_driver_tend(state, ptend, cld, dt, ncol)
+    type(physics_state), intent(in) :: state
+    type(physics_ptend), intent(inout) :: ptend
+    real(r8), intent(in) :: cld(pcols, pver)
+    real(r8), intent(in) :: dt
+    integer, intent(in) :: ncol
+    integer :: i, k
+    real(r8) :: qsat_local, qexcess, cond_rate, freeze_frac, liq_new, ice_new
+
+    do k = 1, pver
+      do i = 1, ncol
+        qsat_local = qsat_water(state%t(i,k), state%pmid(i,k))
+        qexcess = state%q(i,k) - qsat_local * (1.0_r8 - 0.3_r8 * cld(i,k))
+        cond_rate = max(0.0_r8, qexcess) / cond_timescale
+        cond_rate = min(cond_rate, state%q(i,k) / dt)
+        freeze_frac = min(1.0_r8, max(0.0_r8, (tmelt - state%t(i,k)) / 30.0_r8))
+        liq_new = cond_rate * (1.0_r8 - freeze_frac)
+        ice_new = cond_rate * freeze_frac
+        ptend%q(i,k) = ptend%q(i,k) - cond_rate
+        ptend%qc(i,k) = ptend%qc(i,k) + liq_new
+        ptend%qi(i,k) = ptend%qi(i,k) + ice_new
+        ptend%s(i,k) = ptend%s(i,k) + latvap * cond_rate
+        ptend%nc(i,k) = ptend%nc(i,k) + liq_new * 5.0e10_r8
+        ptend%ni(i,k) = ptend%ni(i,k) + ice_new * 1.0e9_r8
+      end do
+    end do
+  end subroutine macrop_driver_tend
+end module macrop_driver
+"""
+
+SOURCES: dict[str, str] = {
+    "wv_saturation.F90": WV_SATURATION,
+    "cloud_fraction.F90": CLOUD_FRACTION,
+    "macrop_driver.F90": MACROP_DRIVER,
+}

@@ -1,0 +1,162 @@
+"""Radiation modules: longwave (produces FLDS/``flwds``, FLNS/``flns`` and the
+longwave heating rate QRL/``qrl``), shortwave (FSDS/``fsds``, FSNS and the
+shortwave heating rate QRS/``qrs``), and the driver that applies the heating
+to the physics tendencies.  These are the modules the RAND-MT experiment's
+affected output variables (flds, flns, qrl) are computed in.
+"""
+
+RADLW = """
+module radlw
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver
+  use physconst,      only: stebol, cpair, gravit
+  use physics_types,  only: physics_state
+  use cam_history,    only: outfld, outfld2d
+  implicit none
+  private
+  public :: radlw_run
+  real(r8), parameter :: emis_clear = 0.72_r8
+  real(r8), parameter :: emis_cloud_factor = 0.25_r8
+  real(r8), parameter :: lw_cool_coef = 2.0e-7_r8
+contains
+  subroutine radlw_run(state, cld, ts, flwds, flns, qrl, ncol)
+    type(physics_state), intent(in) :: state
+    real(r8), intent(in) :: cld(pcols, pver)
+    real(r8), intent(in) :: ts(pcols)
+    integer, intent(in) :: ncol
+    real(r8), intent(out) :: flwds(pcols)
+    real(r8), intent(out) :: flns(pcols)
+    real(r8), intent(out) :: qrl(pcols, pver)
+    integer :: i, k
+    real(r8) :: cldtot_col, emis_eff, tmean, flux_up, cooling
+
+    do i = 1, ncol
+      cldtot_col = 0.0_r8
+      tmean = 0.0_r8
+      do k = 1, pver
+        cldtot_col = max(cldtot_col, cld(i,k))
+        tmean = tmean + state%t(i,k) * state%pdel(i,k)
+      end do
+      tmean = tmean / (state%pint(i,pver+1) - state%pint(i,1))
+      emis_eff = emis_clear + emis_cloud_factor * cldtot_col
+      flwds(i) = emis_eff * stebol * tmean ** 4
+      flux_up = stebol * ts(i) ** 4
+      flns(i) = flux_up - flwds(i)
+    end do
+
+    do k = 1, pver
+      do i = 1, ncol
+        cooling = lw_cool_coef * (state%t(i,k) - 180.0_r8) * (1.0_r8 - 0.4_r8 * cld(i,k))
+        qrl(i,k) = -cooling * cpair
+      end do
+    end do
+
+    call outfld('FLDS', flwds)
+    call outfld('FLNS', flns)
+    call outfld2d('QRL', qrl)
+  end subroutine radlw_run
+end module radlw
+"""
+
+RADSW = """
+module radsw
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver
+  use physconst,      only: cpair, pi
+  use phys_grid,      only: clat
+  use physics_types,  only: physics_state
+  use cam_history,    only: outfld, outfld2d
+  implicit none
+  private
+  public :: radsw_run
+  real(r8), parameter :: solar_constant = 1361.0_r8
+  real(r8), parameter :: cloud_albedo = 0.45_r8
+  real(r8), parameter :: surface_albedo = 0.15_r8
+contains
+  subroutine radsw_run(state, cld, fsds, fsns, qrs, sols, ncol)
+    type(physics_state), intent(in) :: state
+    real(r8), intent(in) :: cld(pcols, pver)
+    integer, intent(in) :: ncol
+    real(r8), intent(out) :: fsds(pcols)
+    real(r8), intent(out) :: fsns(pcols)
+    real(r8), intent(out) :: qrs(pcols, pver)
+    real(r8), intent(out) :: sols(pcols)
+    integer :: i, k
+    real(r8) :: coszrs, cldtot_col, transmission, absorbed
+
+    do i = 1, ncol
+      coszrs = max(0.05_r8, cos(clat(i)) * 0.7_r8)
+      cldtot_col = 0.0_r8
+      do k = 1, pver
+        cldtot_col = max(cldtot_col, cld(i,k))
+      end do
+      transmission = 1.0_r8 - cloud_albedo * cldtot_col
+      sols(i) = solar_constant * coszrs
+      fsds(i) = sols(i) * transmission * 0.75_r8
+      fsns(i) = fsds(i) * (1.0_r8 - surface_albedo)
+    end do
+
+    do k = 1, pver
+      do i = 1, ncol
+        absorbed = 0.02_r8 * fsds(i) * state%q(i,k) / 0.01_r8 * (1.0_r8 + 0.2_r8 * cld(i,k))
+        qrs(i,k) = absorbed * gravity_norm(state%pdel(i,k))
+      end do
+    end do
+
+    call outfld('FSDS', fsds)
+    call outfld('FSNS', fsns)
+    call outfld2d('QRS', qrs)
+  end subroutine radsw_run
+
+  elemental function gravity_norm(pdel) result(norm)
+    real(r8), intent(in) :: pdel
+    real(r8) :: norm
+    norm = 9.80616_r8 / max(pdel, 1.0_r8)
+  end function gravity_norm
+end module radsw
+"""
+
+RADIATION = """
+module radiation
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver
+  use physconst,      only: cpair
+  use physics_types,  only: physics_state, physics_ptend
+  use physics_buffer, only: pbuf_cld
+  use radlw,          only: radlw_run
+  use radsw,          only: radsw_run
+  implicit none
+  private
+  public :: radiation_tend
+contains
+  subroutine radiation_tend(state, ptend, ts, flwds, flns, fsds, fsns, qrl, qrs, ncol)
+    type(physics_state), intent(in) :: state
+    type(physics_ptend), intent(inout) :: ptend
+    real(r8), intent(in) :: ts(pcols)
+    integer, intent(in) :: ncol
+    real(r8), intent(out) :: flwds(pcols)
+    real(r8), intent(out) :: flns(pcols)
+    real(r8), intent(out) :: fsds(pcols)
+    real(r8), intent(out) :: fsns(pcols)
+    real(r8), intent(out) :: qrl(pcols, pver)
+    real(r8), intent(out) :: qrs(pcols, pver)
+    real(r8) :: sols(pcols)
+    integer :: i, k
+
+    call radlw_run(state, pbuf_cld, ts, flwds, flns, qrl, ncol)
+    call radsw_run(state, pbuf_cld, fsds, fsns, qrs, sols, ncol)
+
+    do k = 1, pver
+      do i = 1, ncol
+        ptend%s(i,k) = ptend%s(i,k) + qrl(i,k) + qrs(i,k)
+      end do
+    end do
+  end subroutine radiation_tend
+end module radiation
+"""
+
+SOURCES: dict[str, str] = {
+    "radlw.F90": RADLW,
+    "radsw.F90": RADSW,
+    "radiation.F90": RADIATION,
+}

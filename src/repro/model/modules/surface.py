@@ -1,0 +1,146 @@
+"""Surface component models: a simple land model (snow depth SNOWHLND /
+``snowhland``, land surface temperature), a data ocean, a thermodynamic sea
+ice fraction, and the surface merge that combines them into the ``ts`` the
+atmosphere sees.  The land model is included because the paper notes the
+method also located bugs in the land module; the AVX2 "unrestricted" subgraph
+(Fig. 15) includes these nodes.
+"""
+
+LND_COMP = """
+module lnd_comp
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols
+  use physconst,    only: tmelt, latice, stebol
+  use phys_grid,    only: landfrac
+  use camsrfexch,   only: cam_in_t, cam_out_t
+  use cam_history,  only: outfld
+  implicit none
+  private
+  public :: lnd_init, lnd_run
+  real(r8), parameter :: soil_heat_capacity = 2.0e6_r8
+  real(r8), parameter :: snow_melt_rate = 2.0e-7_r8
+  real(r8) :: ts_land(pcols)
+  real(r8) :: snowhland(pcols)
+  real(r8) :: soil_moisture(pcols)
+contains
+  subroutine lnd_init()
+    integer :: i
+    do i = 1, pcols
+      ts_land(i) = 284.0_r8 + 6.0_r8 * landfrac(i)
+      snowhland(i) = 0.05_r8 * max(0.0_r8, 1.0_r8 - landfrac(i) * 0.5_r8)
+      soil_moisture(i) = 0.3_r8
+    end do
+  end subroutine lnd_init
+
+  subroutine lnd_run(cam_out, cam_in, dt, ncol)
+    type(cam_out_t), intent(in) :: cam_out
+    type(cam_in_t), intent(inout) :: cam_in
+    real(r8), intent(in) :: dt
+    integer, intent(in) :: ncol
+    integer :: i
+    real(r8) :: net_energy, snowfall, melt, sublimation
+
+    do i = 1, ncol
+      net_energy = cam_out%flwds(i) + cam_out%netsw(i) - stebol * ts_land(i) ** 4 - cam_in%shf(i) - cam_in%lhf(i)
+      ts_land(i) = ts_land(i) + dt * net_energy / soil_heat_capacity
+      snowfall = cam_out%precsl(i) * dt
+      melt = snow_melt_rate * dt * max(0.0_r8, ts_land(i) - tmelt)
+      sublimation = 1.0e-10_r8 * dt * cam_in%lhf(i)
+      snowhland(i) = max(0.0_r8, snowhland(i) + snowfall - melt - sublimation)
+      soil_moisture(i) = max(0.05_r8, min(0.5_r8, soil_moisture(i) + cam_out%precl(i) * dt - 1.0e-9_r8 * dt))
+      cam_in%snowhland(i) = snowhland(i) * landfrac(i)
+      cam_in%ts(i) = ts_land(i)
+    end do
+
+    call outfld('SNOWHLND', cam_in%snowhland)
+    call outfld('TSLAND', ts_land)
+  end subroutine lnd_run
+end module lnd_comp
+"""
+
+DOCN_COMP = """
+module docn_comp
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols
+  use phys_grid,    only: clat
+  use camsrfexch,   only: cam_in_t
+  implicit none
+  private
+  public :: docn_init, docn_run
+  real(r8) :: sst_clim(pcols)
+contains
+  subroutine docn_init()
+    integer :: i
+    do i = 1, pcols
+      sst_clim(i) = 271.0_r8 + 29.0_r8 * cos(clat(i)) ** 2
+    end do
+  end subroutine docn_init
+
+  subroutine docn_run(cam_in, ncol)
+    type(cam_in_t), intent(inout) :: cam_in
+    integer, intent(in) :: ncol
+    integer :: i
+    do i = 1, ncol
+      cam_in%sst(i) = sst_clim(i)
+    end do
+  end subroutine docn_run
+end module docn_comp
+"""
+
+ICE_COMP = """
+module ice_comp
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols
+  use physconst,    only: tmelt
+  use camsrfexch,   only: cam_in_t
+  implicit none
+  private
+  public :: ice_run
+contains
+  subroutine ice_run(cam_in, ncol)
+    type(cam_in_t), intent(inout) :: cam_in
+    integer, intent(in) :: ncol
+    integer :: i
+    real(r8) :: freezing_deficit
+    do i = 1, ncol
+      freezing_deficit = max(0.0_r8, (tmelt - 1.8_r8) - cam_in%sst(i))
+      cam_in%icefrac(i) = min(1.0_r8, freezing_deficit * 0.5_r8)
+    end do
+  end subroutine ice_run
+end module ice_comp
+"""
+
+SURFACE_MERGE = """
+module surface_merge
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols
+  use phys_grid,    only: landfrac
+  use physconst,    only: tmelt
+  use camsrfexch,   only: cam_in_t
+  use cam_history,  only: outfld
+  implicit none
+  private
+  public :: merge_surface_state
+contains
+  subroutine merge_surface_state(cam_in, ts_merged, ncol)
+    type(cam_in_t), intent(in) :: cam_in
+    integer, intent(in) :: ncol
+    real(r8), intent(out) :: ts_merged(pcols)
+    integer :: i
+    real(r8) :: ocnfrac, ts_ocean
+    do i = 1, ncol
+      ocnfrac = 1.0_r8 - landfrac(i)
+      ts_ocean = cam_in%sst(i) * (1.0_r8 - cam_in%icefrac(i)) + (tmelt - 2.0_r8) * cam_in%icefrac(i)
+      ts_merged(i) = landfrac(i) * cam_in%ts(i) + ocnfrac * ts_ocean
+    end do
+    call outfld('TS', ts_merged)
+  end subroutine merge_surface_state
+end module surface_merge
+"""
+
+SOURCES: dict[str, str] = {
+    "lnd_comp.F90": LND_COMP,
+    "docn_comp.F90": DOCN_COMP,
+    "ice_comp.F90": ICE_COMP,
+    "surface_merge.F90": SURFACE_MERGE,
+}

@@ -1,0 +1,183 @@
+"""Derived-type container modules: the physics state/tendency structures and
+the atmosphere/surface exchange types, plus the module that owns the single
+global instances the driver passes around (CAM keeps these in chunked arrays;
+one chunk suffices here).
+"""
+
+PHYSICS_TYPES = """
+module physics_types
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols, pver, pverp
+  use physconst,    only: cpair, gravit
+  implicit none
+  private
+  public :: physics_state, physics_tend, physics_ptend
+  public :: physics_update, physics_ptend_init, physics_tend_init
+
+  type physics_state
+    integer  :: ncol
+    real(r8) :: ps(pcols)
+    real(r8) :: phis(pcols)
+    real(r8) :: t(pcols, pver)
+    real(r8) :: u(pcols, pver)
+    real(r8) :: v(pcols, pver)
+    real(r8) :: q(pcols, pver)
+    real(r8) :: qc(pcols, pver)
+    real(r8) :: qi(pcols, pver)
+    real(r8) :: nc(pcols, pver)
+    real(r8) :: ni(pcols, pver)
+    real(r8) :: omega(pcols, pver)
+    real(r8) :: pmid(pcols, pver)
+    real(r8) :: pdel(pcols, pver)
+    real(r8) :: pint(pcols, pverp)
+    real(r8) :: lnpmid(pcols, pver)
+    real(r8) :: zm(pcols, pver)
+    real(r8) :: zi(pcols, pverp)
+    real(r8) :: exner(pcols, pver)
+  end type physics_state
+
+  type physics_tend
+    real(r8) :: dtdt(pcols, pver)
+    real(r8) :: dudt(pcols, pver)
+    real(r8) :: dvdt(pcols, pver)
+    real(r8) :: flx_net(pcols)
+  end type physics_tend
+
+  type physics_ptend
+    real(r8) :: s(pcols, pver)
+    real(r8) :: q(pcols, pver)
+    real(r8) :: qc(pcols, pver)
+    real(r8) :: qi(pcols, pver)
+    real(r8) :: nc(pcols, pver)
+    real(r8) :: ni(pcols, pver)
+    real(r8) :: u(pcols, pver)
+    real(r8) :: v(pcols, pver)
+  end type physics_ptend
+
+contains
+
+  subroutine physics_tend_init(tend)
+    type(physics_tend), intent(inout) :: tend
+    tend%dtdt = 0.0_r8
+    tend%dudt = 0.0_r8
+    tend%dvdt = 0.0_r8
+    tend%flx_net = 0.0_r8
+  end subroutine physics_tend_init
+
+  subroutine physics_ptend_init(ptend)
+    type(physics_ptend), intent(inout) :: ptend
+    ptend%s = 0.0_r8
+    ptend%q = 0.0_r8
+    ptend%qc = 0.0_r8
+    ptend%qi = 0.0_r8
+    ptend%nc = 0.0_r8
+    ptend%ni = 0.0_r8
+    ptend%u = 0.0_r8
+    ptend%v = 0.0_r8
+  end subroutine physics_ptend_init
+
+  subroutine physics_update(state, ptend, dt)
+    type(physics_state), intent(inout) :: state
+    type(physics_ptend), intent(inout) :: ptend
+    real(r8), intent(in) :: dt
+    state%t = state%t + dt * ptend%s / cpair
+    state%q = max(1.0e-12_r8, state%q + dt * ptend%q)
+    state%qc = max(0.0_r8, state%qc + dt * ptend%qc)
+    state%qi = max(0.0_r8, state%qi + dt * ptend%qi)
+    state%nc = max(0.0_r8, state%nc + dt * ptend%nc)
+    state%ni = max(0.0_r8, state%ni + dt * ptend%ni)
+    state%u = state%u + dt * ptend%u
+    state%v = state%v + dt * ptend%v
+    call physics_ptend_init(ptend)
+  end subroutine physics_update
+
+end module physics_types
+"""
+
+CAMSRFEXCH = """
+module camsrfexch
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid,       only: pcols
+  implicit none
+  private
+  public :: cam_in_t, cam_out_t, hub2atm_alloc, atm2hub_alloc
+
+  type cam_in_t
+    real(r8) :: ts(pcols)
+    real(r8) :: sst(pcols)
+    real(r8) :: shf(pcols)
+    real(r8) :: lhf(pcols)
+    real(r8) :: wsx(pcols)
+    real(r8) :: wsy(pcols)
+    real(r8) :: snowhland(pcols)
+    real(r8) :: icefrac(pcols)
+    real(r8) :: u10(pcols)
+    real(r8) :: tref(pcols)
+  end type cam_in_t
+
+  type cam_out_t
+    real(r8) :: flwds(pcols)
+    real(r8) :: netsw(pcols)
+    real(r8) :: precl(pcols)
+    real(r8) :: precsl(pcols)
+    real(r8) :: tbot(pcols)
+    real(r8) :: ubot(pcols)
+    real(r8) :: vbot(pcols)
+    real(r8) :: qbot(pcols)
+    real(r8) :: pbot(pcols)
+    real(r8) :: zbot(pcols)
+  end type cam_out_t
+
+contains
+
+  subroutine hub2atm_alloc(cam_in)
+    type(cam_in_t), intent(inout) :: cam_in
+    cam_in%ts = 288.0_r8
+    cam_in%sst = 290.0_r8
+    cam_in%shf = 0.0_r8
+    cam_in%lhf = 0.0_r8
+    cam_in%wsx = 0.0_r8
+    cam_in%wsy = 0.0_r8
+    cam_in%snowhland = 0.0_r8
+    cam_in%icefrac = 0.0_r8
+    cam_in%u10 = 0.0_r8
+    cam_in%tref = 288.0_r8
+  end subroutine hub2atm_alloc
+
+  subroutine atm2hub_alloc(cam_out)
+    type(cam_out_t), intent(inout) :: cam_out
+    cam_out%flwds = 0.0_r8
+    cam_out%netsw = 0.0_r8
+    cam_out%precl = 0.0_r8
+    cam_out%precsl = 0.0_r8
+    cam_out%tbot = 288.0_r8
+    cam_out%ubot = 0.0_r8
+    cam_out%vbot = 0.0_r8
+    cam_out%qbot = 0.0_r8
+    cam_out%pbot = 100000.0_r8
+    cam_out%zbot = 50.0_r8
+  end subroutine atm2hub_alloc
+
+end module camsrfexch
+"""
+
+CAMSTATE = """
+module camstate
+  use shr_kind_mod,  only: r8 => shr_kind_r8
+  use physics_types, only: physics_state, physics_tend, physics_ptend
+  use camsrfexch,    only: cam_in_t, cam_out_t
+  implicit none
+  public
+  type(physics_state) :: state
+  type(physics_tend)  :: tend
+  type(physics_ptend) :: ptend
+  type(cam_in_t)      :: cam_in
+  type(cam_out_t)     :: cam_out
+end module camstate
+"""
+
+SOURCES: dict[str, str] = {
+    "physics_types.F90": PHYSICS_TYPES,
+    "camsrfexch.F90": CAMSRFEXCH,
+    "camstate.F90": CAMSTATE,
+}

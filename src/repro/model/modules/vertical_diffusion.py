@@ -1,0 +1,101 @@
+"""Planetary-boundary-layer / vertical diffusion module.  Produces the
+surface exchange quantities the AVX2 and RAND-MT experiments select
+(TAUX/``wsx``, SHFLX/``shf``, TREFHT/``tref``, U10/``u10``) plus the TKE
+profile stored in the physics buffer.
+"""
+
+VERTICAL_DIFFUSION = """
+module vertical_diffusion
+  use shr_kind_mod,   only: r8 => shr_kind_r8
+  use ppgrid,         only: pcols, pver, pverp
+  use physconst,      only: cpair, latvap, karman, gravit, rair, zvir
+  use physics_types,  only: physics_state, physics_ptend
+  use physics_buffer, only: pbuf_tke
+  use camsrfexch,     only: cam_in_t
+  use cam_history,    only: outfld
+  implicit none
+  private
+  public :: vertical_diffusion_tend
+  real(r8), parameter :: z0m = 0.05_r8
+  real(r8), parameter :: zref = 10.0_r8
+  real(r8), parameter :: diff_min = 0.1_r8
+contains
+  subroutine vertical_diffusion_tend(state, ptend, cam_in, ts, dt, ncol)
+    type(physics_state), intent(in) :: state
+    type(physics_ptend), intent(inout) :: ptend
+    type(cam_in_t), intent(inout) :: cam_in
+    real(r8), intent(in) :: ts(pcols)
+    real(r8), intent(in) :: dt
+    integer, intent(in) :: ncol
+    integer :: i, k
+    real(r8) :: wsx(pcols)
+    real(r8) :: wsy(pcols)
+    real(r8) :: shf(pcols)
+    real(r8) :: lhf(pcols)
+    real(r8) :: tref(pcols)
+    real(r8) :: u10(pcols)
+    real(r8) :: ustar, wind_bot, rhobot, drag, stability, kdiff
+    real(r8) :: dtdz, dudz, dvdz, dqdz
+
+    do i = 1, ncol
+      wind_bot = sqrt(state%u(i,pver) ** 2 + state%v(i,pver) ** 2) + 1.0_r8
+      rhobot = state%pmid(i,pver) / (rair * state%t(i,pver))
+      drag = (karman / log(state%zm(i,pver) / z0m)) ** 2
+      stability = 1.0_r8 + 0.2_r8 * (ts(i) - state%t(i,pver))
+      stability = max(0.5_r8, min(2.0_r8, stability))
+      ustar = sqrt(drag * stability) * wind_bot
+      wsx(i) = -rhobot * drag * stability * wind_bot * state%u(i,pver)
+      wsy(i) = -rhobot * drag * stability * wind_bot * state%v(i,pver)
+      shf(i) = rhobot * cpair * drag * stability * wind_bot * (ts(i) - state%t(i,pver))
+      lhf(i) = rhobot * latvap * drag * stability * wind_bot * max(0.0_r8, 0.015_r8 - state%q(i,pver)) * 0.3_r8
+      tref(i) = state%t(i,pver) + (ts(i) - state%t(i,pver)) * (1.0_r8 - log(zref / z0m) / log(state%zm(i,pver) / z0m))
+      u10(i) = wind_bot * log(zref / z0m) / log(state%zm(i,pver) / z0m)
+      pbuf_tke(i,pverp) = max(0.01_r8, 3.9_r8 * ustar ** 2)
+      cam_in%wsx(i) = wsx(i)
+      cam_in%wsy(i) = wsy(i)
+      cam_in%shf(i) = shf(i)
+      cam_in%lhf(i) = lhf(i)
+      cam_in%tref(i) = tref(i)
+      cam_in%u10(i) = u10(i)
+    end do
+
+    do k = pver, 1, -1
+      do i = 1, ncol
+        pbuf_tke(i,k) = pbuf_tke(i,pverp) * exp(-(pverp - k) * 0.7_r8)
+      end do
+    end do
+
+    do k = 2, pver
+      do i = 1, ncol
+        kdiff = diff_min + 30.0_r8 * pbuf_tke(i,k)
+        dtdz = (state%t(i,k-1) - state%t(i,k)) / max(state%zm(i,k-1) - state%zm(i,k), 1.0_r8)
+        dudz = (state%u(i,k-1) - state%u(i,k)) / max(state%zm(i,k-1) - state%zm(i,k), 1.0_r8)
+        dvdz = (state%v(i,k-1) - state%v(i,k)) / max(state%zm(i,k-1) - state%zm(i,k), 1.0_r8)
+        dqdz = (state%q(i,k-1) - state%q(i,k)) / max(state%zm(i,k-1) - state%zm(i,k), 1.0_r8)
+        ptend%s(i,k) = ptend%s(i,k) + cpair * kdiff * dtdz * 1.0e-4_r8
+        ptend%u(i,k) = ptend%u(i,k) + kdiff * dudz * 1.0e-4_r8
+        ptend%v(i,k) = ptend%v(i,k) + kdiff * dvdz * 1.0e-4_r8
+        ptend%q(i,k) = ptend%q(i,k) + kdiff * dqdz * 1.0e-4_r8
+      end do
+    end do
+
+    do i = 1, ncol
+      ptend%s(i,pver) = ptend%s(i,pver) + gravit * shf(i) / state%pdel(i,pver)
+      ptend%q(i,pver) = ptend%q(i,pver) + gravit * lhf(i) / (latvap * state%pdel(i,pver))
+      ptend%u(i,pver) = ptend%u(i,pver) + gravit * wsx(i) / state%pdel(i,pver) * dt * 0.001_r8
+      ptend%v(i,pver) = ptend%v(i,pver) + gravit * wsy(i) / state%pdel(i,pver) * dt * 0.001_r8
+    end do
+
+    call outfld('TAUX', wsx)
+    call outfld('TAUY', wsy)
+    call outfld('SHFLX', shf)
+    call outfld('LHFLX', lhf)
+    call outfld('TREFHT', tref)
+    call outfld('U10', u10)
+  end subroutine vertical_diffusion_tend
+end module vertical_diffusion
+"""
+
+SOURCES: dict[str, str] = {
+    "vertical_diffusion.F90": VERTICAL_DIFFUSION,
+}

@@ -1,0 +1,178 @@
+"""Unit tests for the Fortran-subset lexer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fortran.errors import LexError
+from repro.fortran.lexer import tokenize_line
+from repro.fortran.tokens import TokenType
+
+
+def types_and_values(text):
+    toks = tokenize_line(text)
+    return [(t.type, t.value) for t in toks if t.type is not TokenType.EOL]
+
+
+class TestNames:
+    def test_simple_identifier(self):
+        assert types_and_values("gravit") == [(TokenType.NAME, "gravit")]
+
+    def test_identifiers_are_lowercased(self):
+        assert types_and_values("Gravit QRL") == [
+            (TokenType.NAME, "gravit"),
+            (TokenType.NAME, "qrl"),
+        ]
+
+    def test_identifier_with_digits_and_underscores(self):
+        assert types_and_values("micro_mg_tend2") == [
+            (TokenType.NAME, "micro_mg_tend2")
+        ]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert types_and_values("42") == [(TokenType.INTEGER, "42")]
+
+    def test_simple_real(self):
+        assert types_and_values("3.14") == [(TokenType.REAL, "3.14")]
+
+    def test_real_with_exponent(self):
+        assert types_and_values("8.1328e-3") == [(TokenType.REAL, "8.1328e-3")]
+
+    def test_real_with_d_exponent(self):
+        assert types_and_values("1.d0") == [(TokenType.REAL, "1.d0")]
+
+    def test_real_with_kind_suffix(self):
+        assert types_and_values("0.20_r8") == [(TokenType.REAL, "0.20_r8")]
+
+    def test_integer_with_kind_suffix(self):
+        assert types_and_values("1_i8") == [(TokenType.INTEGER, "1_i8")]
+
+    def test_real_trailing_dot(self):
+        assert types_and_values("2. * x") == [
+            (TokenType.REAL, "2."),
+            (TokenType.OPERATOR, "*"),
+            (TokenType.NAME, "x"),
+        ]
+
+    def test_leading_dot_real(self):
+        assert types_and_values(".5") == [(TokenType.REAL, ".5")]
+
+    def test_number_followed_by_dotop(self):
+        # "1 .and." style is unusual but the dot must not be eaten by the number
+        vals = types_and_values("i == 1 .and. flag")
+        assert (TokenType.DOTOP, ".and.") in vals
+
+
+class TestStringsAndLogicals:
+    def test_single_quoted_string(self):
+        assert types_and_values("'QRL'") == [(TokenType.STRING, "QRL")]
+
+    def test_double_quoted_string(self):
+        assert types_and_values('"WSUB"') == [(TokenType.STRING, "WSUB")]
+
+    def test_escaped_quote(self):
+        assert types_and_values("'don''t'") == [(TokenType.STRING, "don't")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize_line("'oops")
+
+    def test_true_false(self):
+        assert types_and_values(".true. .false.") == [
+            (TokenType.LOGICAL, ".true."),
+            (TokenType.LOGICAL, ".false."),
+        ]
+
+    def test_string_with_exclamation_is_not_comment(self):
+        assert types_and_values("'a!b'") == [(TokenType.STRING, "a!b")]
+
+
+class TestOperators:
+    def test_arithmetic_operators(self):
+        vals = [v for _, v in types_and_values("a + b - c * d / e ** f")]
+        assert vals == ["a", "+", "b", "-", "c", "*", "d", "/", "e", "**", "f"]
+
+    def test_relational_operators(self):
+        vals = [v for _, v in types_and_values("a <= b >= c == d /= e")]
+        assert "<=" in vals and ">=" in vals and "==" in vals and "/=" in vals
+
+    def test_old_style_relational_operators_are_normalised(self):
+        vals = [v for t, v in types_and_values("a .lt. b .ge. c .eq. d")]
+        assert "<" in vals and ">=" in vals and "==" in vals
+
+    def test_dot_logical_operators(self):
+        out = types_and_values("a .and. b .or. .not. c")
+        dotops = [v for t, v in out if t is TokenType.DOTOP]
+        assert dotops == [".and.", ".or.", ".not."]
+
+    def test_double_colon_and_arrow(self):
+        vals = [v for _, v in types_and_values("real(r8) :: x => null()")]
+        assert "::" in vals and "=>" in vals
+
+    def test_percent_operator(self):
+        vals = [v for _, v in types_and_values("state%omega(i,k)")]
+        assert "%" in vals
+
+    def test_comment_is_stripped(self):
+        assert types_and_values("x ! a comment = 4") == [(TokenType.NAME, "x")]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize_line("a $ b")
+
+
+class TestStatementShapes:
+    def test_assignment_statement(self):
+        out = types_and_values("wsub(i) = 0.20_r8 * sqrt(tke(i,k))")
+        names = [v for t, v in out if t is TokenType.NAME]
+        assert names == ["wsub", "i", "sqrt", "tke", "i", "k"]
+        # kind suffix stays attached to the literal, not a separate NAME
+        assert (TokenType.REAL, "0.20_r8") in out
+
+    def test_call_statement(self):
+        out = types_and_values("call outfld('QRL', qrl, pcols, lchnk)")
+        assert out[0] == (TokenType.NAME, "call")
+        assert (TokenType.STRING, "QRL") in out
+
+    def test_semicolon_emits_eol(self):
+        toks = tokenize_line("a = 1; b = 2")
+        assert sum(1 for t in toks if t.type is TokenType.EOL and t.value == ";") == 1
+
+
+class TestLexerProperties:
+    @given(st.from_regex(r"[a-z][a-z0-9_]{0,20}", fullmatch=True))
+    def test_any_identifier_roundtrips(self, name):
+        out = types_and_values(name)
+        assert out == [(TokenType.NAME, name)]
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_any_integer_roundtrips(self, value):
+        out = types_and_values(str(value))
+        assert out == [(TokenType.INTEGER, str(value))]
+
+    @given(
+        st.floats(
+            min_value=1e-12, max_value=1e12, allow_nan=False, allow_infinity=False
+        )
+    )
+    def test_any_float_repr_lexes_as_real(self, value):
+        text = repr(float(value))
+        out = types_and_values(text)
+        assert len(out) == 1
+        assert out[0][0] in (TokenType.REAL, TokenType.INTEGER)
+
+    @given(st.text(alphabet="abcdefghij_ ()+-*/,=%", max_size=40))
+    def test_lexer_never_crashes_on_benign_alphabet(self, text):
+        # Either tokenizes or raises LexError -- never any other exception.
+        try:
+            tokenize_line(text)
+        except LexError:
+            pass
+
+    @given(st.lists(st.sampled_from(["a", "b1", "c_2", "x"]), min_size=1, max_size=6))
+    def test_token_count_matches_word_count(self, words):
+        text = " ".join(words)
+        out = types_and_values(text)
+        assert len(out) == len(words)
