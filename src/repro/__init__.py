@@ -68,7 +68,21 @@ def __getattr__(name: str) -> Any:
         module_name, attr = _LAZY_EXPORTS[name]
     except KeyError as exc:  # pragma: no cover - defensive
         raise AttributeError(f"module 'repro' has no attribute {name!r}") from exc
-    return getattr(import_module(module_name), attr)
+    try:
+        module = import_module(module_name)
+    except ModuleNotFoundError as exc:
+        if exc.name is not None and (
+            exc.name == module_name or module_name.startswith(exc.name + ".")
+        ):
+            # The backing module itself is one of the not-yet-implemented
+            # pipeline stages: surface that clearly instead of leaking an
+            # ImportError out of attribute access.
+            raise AttributeError(
+                f"repro.{name} is not available yet: backing module "
+                f"{module_name!r} is not implemented in this build"
+            ) from exc
+        raise  # a dependency of an implemented module is genuinely missing
+    return getattr(module, attr)
 
 
 def __dir__() -> list[str]:  # pragma: no cover - trivial

@@ -451,11 +451,25 @@ class ModuleNode:
         return names
 
     def all_assignments(self) -> Iterator[tuple[Subprogram, Assignment]]:
-        """Yield (subprogram, assignment) pairs for every assignment."""
+        """Yield (subprogram, assignment) pairs for every assignment,
+        including assignments in contained subprograms."""
+        for sub, stmt in self.walk_statements():
+            if isinstance(stmt, Assignment):
+                yield sub, stmt
+
+    def walk_statements(self) -> Iterator[tuple[Subprogram, Stmt]]:
+        """Yield (subprogram, statement) for every executable statement.
+
+        Recurses into control-flow bodies and contained subprograms; this is
+        the walk the metagraph builder compiles edges from.
+        """
         for sub in self.subprograms.values():
-            for stmt in sub.walk_statements():
-                if isinstance(stmt, Assignment):
-                    yield sub, stmt
+            stack = [sub]
+            while stack:
+                current = stack.pop()
+                for stmt in current.walk_statements():
+                    yield current, stmt
+                stack.extend(current.contains)
 
 
 @dataclass
@@ -464,3 +478,9 @@ class SourceFileAST:
 
     filename: str
     modules: list[ModuleNode] = field(default_factory=list)
+
+    def walk_statements(self) -> Iterator[tuple[ModuleNode, Subprogram, Stmt]]:
+        """Yield (module, subprogram, statement) over the whole file."""
+        for mod in self.modules:
+            for sub, stmt in mod.walk_statements():
+                yield mod, sub, stmt

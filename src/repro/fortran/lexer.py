@@ -22,6 +22,10 @@ _NAME_START = set("abcdefghijklmnopqrstuvwxyz_")
 _NAME_CHARS = _NAME_START | set("0123456789")
 _DIGITS = set("0123456789")
 
+#: Every dot-delimited word the lexer must not mistake for a decimal point:
+#: logical constants plus the operators (``1.eq.2`` is INTEGER DOTOP INTEGER).
+_DOT_WORDS: tuple[str, ...] = (".true.", ".false.", *DOT_OPERATORS)
+
 
 class Lexer:
     """Tokenize one logical Fortran line.
@@ -73,11 +77,11 @@ class Lexer:
         while self._peek() in _DIGITS:
             self.pos += 1
         # fractional part: a dot is part of the number unless it starts a
-        # dot-operator such as ".and." (i.e. the dot is followed by a letter
-        # other than an exponent marker).
+        # dot-operator such as ".and." or ".eq." — an exponent marker alone
+        # is not enough (``1.eq.2`` must not lex as ``1.`` ``eq`` ``.2``).
         if self._peek() == ".":
             nxt = self._peek(1).lower()
-            if nxt not in _NAME_START or nxt in {"e", "d"}:
+            if (nxt not in _NAME_START or nxt in {"e", "d"}) and not self._at_dot_word():
                 is_real = True
                 self.pos += 1
                 while self._peek() in _DIGITS:
@@ -104,6 +108,11 @@ class Lexer:
         value = self.text[start : self.pos].lower()
         type_ = TokenType.REAL if (is_real or "." in value.split("_")[0]) else TokenType.INTEGER
         self._emit(type_, value, start + 1)
+
+    def _at_dot_word(self) -> bool:
+        """True when the current ``.`` begins a dot-operator or logical literal."""
+        rest = self.text[self.pos :].lower()
+        return rest.startswith(_DOT_WORDS)
 
     def _lex_string(self) -> None:
         quote = self._peek()

@@ -139,13 +139,19 @@ class ExpressionParser:
         tok = self.peek()
         if tok.is_op("-") or tok.is_op("+"):
             self.advance()
-            operand = self.parse_unary()
+            # Fortran gives ** higher precedence than unary minus: -a**b is
+            # -(a**b).  Parse the operand at the precedence of ** so the
+            # exponentiation binds to the operand before the sign applies.
+            operand = self.parse_expression(_BINARY_PRECEDENCE["**"])
             if tok.value == "+":
                 return operand
             return UnaryOp(op="-", operand=operand)
         if tok.type is TokenType.DOTOP and tok.value == ".not.":
             self.advance()
-            return UnaryOp(op=".not.", operand=self.parse_unary())
+            # .not. binds tighter than .and./.or. but looser than the
+            # relational operators: .not. a == b is .not. (a == b).
+            operand = self.parse_expression(_BINARY_PRECEDENCE[".and."] + 1)
+            return UnaryOp(op=".not.", operand=operand)
         return self.parse_power_operand()
 
     def parse_power_operand(self) -> Expr:

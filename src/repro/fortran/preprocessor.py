@@ -88,7 +88,7 @@ def preprocess(
     result = PreprocessResult(macros=macros, physical_lines=len(raw_lines))
 
     # ----------------------------------------------------------------- CPP
-    # condition stack: each entry is (taking_branch, any_branch_taken)
+    # condition stack: each entry is [taking_branch, any_branch_taken, else_seen]
     stack: list[list[bool]] = []
     kept: list[tuple[int, str]] = []  # (physical line number, text)
     for idx, raw in enumerate(raw_lines, start=1):
@@ -106,15 +106,18 @@ def preprocess(
             elif name in ("ifdef", "ifndef"):
                 defined = bool(args) and args[0] in macros
                 take = defined if name == "ifdef" else not defined
-                stack.append([take, take])
+                stack.append([take, take, False])
             elif name == "if":
                 # minimal support: "#if defined(X)" / "#if 0" / "#if 1"
                 expr = " ".join(args)
                 take = _eval_if_expression(expr, macros)
-                stack.append([take, take])
+                stack.append([take, take, False])
             elif name == "else":
                 if not stack:
                     raise PreprocessorError("#else without #if", loc)
+                if stack[-1][2]:
+                    raise PreprocessorError("duplicate #else in #if block", loc)
+                stack[-1][2] = True
                 stack[-1][0] = not stack[-1][1]
                 stack[-1][1] = stack[-1][1] or stack[-1][0]
             elif name == "endif":

@@ -1,0 +1,35 @@
+"""Source-to-digraph metagraph construction (paper §4.2).
+
+The stable API of this package:
+
+``build_metagraph(model_source) -> MetaGraph``
+    Compile a :class:`~repro.model.builder.ModelSource` (or a mapping of
+    file names to Fortran text / parsed ASTs) into the directed
+    variable-dependency metagraph.
+``MetaGraph``
+    The graph: one node per (module, scope, variable) with line metadata,
+    predecessor/successor queries, degree statistics (:meth:`MetaGraph.stats`)
+    and BFS reachability — the substrate for slicing
+    (:mod:`repro.slicing`) and community analysis (:mod:`repro.analysis`).
+
+Typical use::
+
+    from repro.model import ModelConfig, build_model_source
+    from repro.graphs import build_metagraph
+
+    graph = build_metagraph(build_model_source(ModelConfig()))
+    stats = graph.stats()          # nodes, edges, degrees, cross-module edges
+    graph.predecessors(graph.find("prect")[0])
+"""
+
+from .build import MetaGraphBuilder, build_metagraph
+from .metagraph import MetaGraph, MetaGraphNode, MetaGraphStats, NodeKey
+
+__all__ = [
+    "MetaGraph",
+    "MetaGraphBuilder",
+    "MetaGraphNode",
+    "MetaGraphStats",
+    "NodeKey",
+    "build_metagraph",
+]

@@ -1,0 +1,205 @@
+"""The variable-dependency metagraph (paper §4.2).
+
+Nodes are *variables*: one node per (module, scope, canonical name), where
+``scope`` is the owning subprogram for dummies/locals and ``""`` for
+module-level variables.  Derived-type component accesses get their own nodes
+(``state%t``) whose canonical name is the trailing component, exactly as the
+paper canonicalizes ``state%omega`` to ``omega``.
+
+Edges are directed *data-flow* dependencies: an edge ``u -> v`` means a value
+read from ``u`` contributed to a value stored in ``v`` — through an
+assignment, a call-argument binding across a subroutine boundary, or an
+aggregate/component relationship.  Every node and edge carries the source
+lines it was compiled from, so slices and community reports can be mapped
+back to the Fortran text.
+
+The graph itself is a plain adjacency structure with predecessor/successor
+queries and degree statistics; it deliberately has no third-party
+dependencies so later stages (BFS slicing, Girvan-Newman, centralities) can
+build on it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+#: A node key: (module, scope, name).  ``scope`` is "" for module-level
+#: variables and the subprogram name for dummies/locals.
+NodeKey = tuple[str, str, str]
+
+
+@dataclass
+class MetaGraphNode:
+    """One variable node with its source metadata."""
+
+    module: str
+    scope: str
+    name: str
+    kind: str = "local"     #: module-var | dummy | local | component | implicit
+    lines: set[int] = field(default_factory=set)
+
+    @property
+    def key(self) -> NodeKey:
+        return (self.module, self.scope, self.name)
+
+    @property
+    def canonical_name(self) -> str:
+        """The paper's canonical name: the trailing ``%`` component."""
+        return self.name.rsplit("%", 1)[-1]
+
+    @property
+    def qualified_name(self) -> str:
+        parts = [self.module]
+        if self.scope:
+            parts.append(self.scope)
+        parts.append(self.name)
+        return "::".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.qualified_name
+
+
+@dataclass(frozen=True)
+class MetaGraphStats:
+    """Summary statistics reported for a built metagraph."""
+
+    node_count: int
+    edge_count: int
+    module_count: int
+    cross_module_edges: int
+    mean_in_degree: float
+    max_in_degree: int
+    mean_out_degree: float
+    max_out_degree: int
+
+
+class MetaGraph:
+    """Directed variable-dependency graph with degree/neighbour queries."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[NodeKey, MetaGraphNode] = {}
+        self._succ: dict[NodeKey, set[NodeKey]] = {}
+        self._pred: dict[NodeKey, set[NodeKey]] = {}
+        self._edge_lines: dict[tuple[NodeKey, NodeKey], set[int]] = {}
+
+    # ------------------------------------------------------------ mutation
+    def add_node(
+        self,
+        module: str,
+        scope: str,
+        name: str,
+        kind: str = "local",
+        line: int | None = None,
+    ) -> MetaGraphNode:
+        """Get-or-create the node, merging line metadata."""
+        key = (module, scope, name)
+        node = self.nodes.get(key)
+        if node is None:
+            node = MetaGraphNode(module=module, scope=scope, name=name, kind=kind)
+            self.nodes[key] = node
+            self._succ[key] = set()
+            self._pred[key] = set()
+        if line:
+            node.lines.add(line)
+        return node
+
+    def add_edge(self, src: NodeKey, dst: NodeKey, line: int | None = None) -> None:
+        """Add a data-flow edge ``src -> dst``; both nodes must exist."""
+        if src not in self.nodes:
+            raise KeyError(f"unknown source node {src!r}")
+        if dst not in self.nodes:
+            raise KeyError(f"unknown destination node {dst!r}")
+        if src == dst:
+            return  # self-dependence (x = x + 1) adds no structure
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+        if line:
+            self._edge_lines.setdefault((src, dst), set()).add(line)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def __contains__(self, key: NodeKey) -> bool:
+        return key in self.nodes
+
+    def __iter__(self) -> Iterator[MetaGraphNode]:
+        return iter(self.nodes.values())
+
+    def edges(self) -> Iterator[tuple[NodeKey, NodeKey]]:
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield src, dst
+
+    def edge_lines(self, src: NodeKey, dst: NodeKey) -> frozenset[int]:
+        """Source lines whose statements induced the edge (may be empty)."""
+        return frozenset(self._edge_lines.get((src, dst), ()))
+
+    def successors(self, key: NodeKey) -> frozenset[NodeKey]:
+        """Nodes whose values this node feeds (out-neighbours)."""
+        return frozenset(self._succ[key])
+
+    def predecessors(self, key: NodeKey) -> frozenset[NodeKey]:
+        """Nodes whose values feed this node (in-neighbours)."""
+        return frozenset(self._pred[key])
+
+    def in_degree(self, key: NodeKey) -> int:
+        return len(self._pred[key])
+
+    def out_degree(self, key: NodeKey) -> int:
+        return len(self._succ[key])
+
+    def modules(self) -> frozenset[str]:
+        """Names of every Fortran module contributing nodes."""
+        return frozenset(node.module for node in self.nodes.values())
+
+    def find(self, canonical_name: str) -> list[NodeKey]:
+        """All node keys whose canonical (trailing-component) name matches."""
+        wanted = canonical_name.lower()
+        return sorted(
+            key for key, node in self.nodes.items()
+            if node.canonical_name == wanted or node.name == wanted
+        )
+
+    def cross_module_edges(self) -> int:
+        """Count of edges whose endpoints live in different modules."""
+        return sum(1 for src, dst in self.edges() if src[0] != dst[0])
+
+    def stats(self) -> MetaGraphStats:
+        """Node/edge counts and in/out-degree statistics."""
+        n = self.node_count
+        in_degrees = [len(p) for p in self._pred.values()]
+        out_degrees = [len(s) for s in self._succ.values()]
+        return MetaGraphStats(
+            node_count=n,
+            edge_count=self.edge_count,
+            module_count=len(self.modules()),
+            cross_module_edges=self.cross_module_edges(),
+            mean_in_degree=(sum(in_degrees) / n) if n else 0.0,
+            max_in_degree=max(in_degrees, default=0),
+            mean_out_degree=(sum(out_degrees) / n) if n else 0.0,
+            max_out_degree=max(out_degrees, default=0),
+        )
+
+    # ------------------------------------------------------------ traversal
+    def reachable_from(self, keys: Iterable[NodeKey], reverse: bool = False) -> set[NodeKey]:
+        """BFS closure of ``keys`` along successors (or predecessors)."""
+        neighbours = self.predecessors if reverse else self.successors
+        seen: set[NodeKey] = set()
+        frontier = [k for k in keys if k in self.nodes]
+        while frontier:
+            key = frontier.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            frontier.extend(n for n in neighbours(key) if n not in seen)
+        return seen
+
+
+__all__ = ["MetaGraph", "MetaGraphNode", "MetaGraphStats", "NodeKey"]

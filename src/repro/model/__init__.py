@@ -16,14 +16,16 @@ and the experiments inject bugs by patching that text
 """
 
 from .builder import ModelConfig, ModelSource, build_model_source
-from .patches import SourcePatch, get_patch, list_patches
-from .registry import COMPSET_FC5, ModuleSpec, iter_module_specs
+from .patches import PatchError, SourcePatch, get_patch, list_patches
+from .registry import COMPSET_FC5, CompsetSpec, ModuleSpec, iter_module_specs
 
 __all__ = [
     "COMPSET_FC5",
+    "CompsetSpec",
     "ModelConfig",
     "ModelSource",
     "ModuleSpec",
+    "PatchError",
     "SourcePatch",
     "build_model_source",
     "get_patch",

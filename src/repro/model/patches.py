@@ -1,0 +1,148 @@
+"""Bug-injection patches for the paper's root-cause-analysis experiments.
+
+Each experiment in the paper starts from a known-good model and introduces a
+small, realistic source change — a wrong constant, a misused minimum, a
+different random stream — then asks the pipeline to locate it.  A
+:class:`SourcePatch` is that change: an exact-match text substitution in one
+Fortran file, validated to apply exactly once so experiments cannot silently
+drift when the model source evolves.
+
+The registered patches mirror the paper's experiment families:
+
+``goffgratch``
+    Wrong coefficient in the Goff-Gratch saturation vapour pressure formula
+    (the paper's GOFFGRATCH experiment, §6).
+``wsubbug``
+    Sub-grid vertical velocity clamped to its minimum instead of the
+    TKE-derived value (the paper's WSUB-style minimum bug).
+``rand-mt``
+    Reversed sign of the PRNG-derived relative-humidity perturbation in the
+    cloud fraction scheme (stand-in for the RAND-MT stream change).
+``mg-autoconv``
+    Autoconversion coefficient off by two orders of magnitude in the
+    two-moment microphysics.
+``cldfrc-premib``
+    Shifted low/high-cloud pressure boundary in the cloud fraction scheme.
+
+Use :func:`get_patch` / :func:`list_patches` to look patches up and
+``ModelConfig(patches=("goffgratch",))`` to build a patched model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+class PatchError(ValueError):
+    """Raised when a patch cannot be applied exactly once to its file."""
+
+
+@dataclass(frozen=True)
+class SourcePatch:
+    """An exact-match, apply-once text substitution in one Fortran file."""
+
+    name: str           #: experiment-facing identifier, e.g. ``"goffgratch"``
+    filename: str       #: Fortran file the patch targets
+    description: str    #: one-line description of the injected bug
+    old: str            #: text that must occur exactly once in the file
+    new: str            #: replacement text
+
+    def apply(self, files: Mapping[str, str]) -> dict[str, str]:
+        """Return a copy of ``files`` with this patch applied.
+
+        Raises :class:`PatchError` when the target file is missing or the
+        ``old`` text does not occur exactly once.
+        """
+        if self.filename not in files:
+            raise PatchError(
+                f"patch {self.name!r} targets missing file {self.filename!r}"
+            )
+        text = files[self.filename]
+        occurrences = text.count(self.old)
+        if occurrences != 1:
+            raise PatchError(
+                f"patch {self.name!r} expected exactly one occurrence of its "
+                f"target in {self.filename!r}, found {occurrences}"
+            )
+        patched = dict(files)
+        patched[self.filename] = text.replace(self.old, self.new)
+        return patched
+
+
+_PATCHES: dict[str, SourcePatch] = {}
+
+
+def _register(patch: SourcePatch) -> SourcePatch:
+    if patch.name in _PATCHES:
+        raise ValueError(f"duplicate patch name {patch.name!r}")
+    _PATCHES[patch.name] = patch
+    return patch
+
+
+_register(
+    SourcePatch(
+        name="goffgratch",
+        filename="wv_saturation.F90",
+        description="wrong third coefficient in the Goff-Gratch SVP formula",
+        old="term3 = 8.1328e-3_r8",
+        new="term3 = 8.1328e-2_r8",
+    )
+)
+
+_register(
+    SourcePatch(
+        name="wsubbug",
+        filename="microp_aero.F90",
+        description="sub-grid vertical velocity clamped to its minimum value",
+        old="wsub(i) = 0.20_r8 * sqrt(1.0_r8 + 25.0_r8 * tkebg(i))",
+        new="wsub(i) = wsubmin",
+    )
+)
+
+_register(
+    SourcePatch(
+        name="rand-mt",
+        filename="cloud_fraction.F90",
+        description="reversed sign of the PRNG relative-humidity perturbation",
+        old="rhpert(i,k) = perturbation_scale * (rhseed(i) - 0.5_r8)",
+        new="rhpert(i,k) = perturbation_scale * (0.5_r8 - rhseed(i))",
+    )
+)
+
+_register(
+    SourcePatch(
+        name="mg-autoconv",
+        filename="micro_mg.F90",
+        description="autoconversion coefficient two orders of magnitude low",
+        old="autoconv_coef = 1350.0_r8",
+        new="autoconv_coef = 13.50_r8",
+    )
+)
+
+_register(
+    SourcePatch(
+        name="cldfrc-premib",
+        filename="cloud_fraction.F90",
+        description="shifted low-cloud pressure boundary in cloud fraction",
+        old="premib = 70000.0_r8",
+        new="premib = 78000.0_r8",
+    )
+)
+
+
+def get_patch(name: str) -> SourcePatch:
+    """Look up a registered patch, raising ``KeyError`` with known names."""
+    try:
+        return _PATCHES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PATCHES))
+        raise KeyError(f"unknown patch {name!r} (known: {known})") from None
+
+
+def list_patches() -> list[str]:
+    """Names of all registered patches, sorted."""
+    return sorted(_PATCHES)
+
+
+__all__ = ["PatchError", "SourcePatch", "get_patch", "list_patches"]

@@ -1,0 +1,172 @@
+"""Registry of the synthetic model's source modules and build configurations.
+
+The paper starts from the full CESM source tree (~2400 module files) and uses
+the build system / KGen to narrow it to the ~820 modules actually compiled
+into an FC5 executable before any graph is built.  This module is the
+stand-in for that step: it knows every Fortran file the synthetic model
+ships (:data:`MODULE_SPECS`), which subsystem provides it, and which files a
+given *compset* (component set, CESM's name for a build configuration)
+actually compiles (:class:`CompsetSpec`, :data:`COMPSET_FC5`).
+
+Public API
+----------
+``ModuleSpec``
+    One Fortran source file: name, providing subsystem, pipeline role.
+``CompsetSpec``
+    A named build configuration: the files it excludes from compilation and
+    the CPP macros it defines.
+``COMPSET_FC5``
+    The FC5-like configuration used by all of the paper's experiments.
+``iter_module_specs(compset=None, include_uncompiled=True)``
+    Iterate specs in build order, optionally restricted to compiled files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from . import modules as _modules
+
+
+#: Roles a module plays in the paper's pipeline.  "unused" modules exist so
+#: the compset restriction and (later) coverage filtering have real work.
+ROLES = (
+    "infrastructure",
+    "types",
+    "dynamics",
+    "physics",
+    "surface",
+    "driver",
+    "unused",
+)
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One Fortran source file of the synthetic model."""
+
+    filename: str       #: Fortran file name, e.g. ``"micro_mg.F90"``
+    provider: str       #: python subsystem module under ``repro.model.modules``
+    role: str           #: one of :data:`ROLES`
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ValueError(f"unknown module role {self.role!r}")
+
+
+@dataclass(frozen=True)
+class CompsetSpec:
+    """A build configuration: which files compile and which macros hold.
+
+    ``excluded_files`` models the paper's 2400 -> 820 module reduction: the
+    listed files ship in the source tree but are not compiled into the
+    executable for this compset.
+    """
+
+    name: str
+    description: str = ""
+    excluded_files: frozenset[str] = frozenset()
+    macros: dict[str, str] = field(default_factory=dict, hash=False, compare=False)
+
+    def compiles(self, spec: ModuleSpec | str) -> bool:
+        """True when this compset compiles ``spec`` (a spec or file name)."""
+        filename = spec if isinstance(spec, str) else spec.filename
+        return filename not in self.excluded_files
+
+
+_ROLE_BY_PROVIDER = {
+    "infrastructure": "infrastructure",
+    "types": "types",
+    "dynamics": "dynamics",
+    "physics_wv": "physics",
+    "microphysics": "physics",
+    "convection": "physics",
+    "radiation": "physics",
+    "vertical_diffusion": "physics",
+    "surface": "surface",
+    "driver": "driver",
+    "unused": "unused",
+}
+
+
+def _build_specs() -> tuple[ModuleSpec, ...]:
+    specs: list[ModuleSpec] = []
+    for provider in _modules.SOURCE_PROVIDERS:
+        provider_name = provider.__name__.rsplit(".", 1)[-1]
+        role = _ROLE_BY_PROVIDER[provider_name]
+        for filename in provider.SOURCES:
+            specs.append(ModuleSpec(filename=filename, provider=provider_name, role=role))
+    return tuple(specs)
+
+
+#: Every source file in build order (infrastructure first, matching
+#: :data:`repro.model.modules.SOURCE_PROVIDERS`).
+MODULE_SPECS: tuple[ModuleSpec, ...] = _build_specs()
+
+#: The FC5-like configuration of the paper's experiments.  Chemistry, WACCM,
+#: CARMA and CLUBB ship in the tree but are not compiled; ``seasalt_optics``
+#: and ``restart_mod`` are compiled but never executed in the first steps
+#: (coverage-filter fodder for a later pipeline stage).
+COMPSET_FC5 = CompsetSpec(
+    name="FC5",
+    description="CAM5-like physics, prescribed ocean/ice, one chunk",
+    excluded_files=frozenset(
+        {
+            "cam_chemistry.F90",
+            "waccm_physics.F90",
+            "carma_mod.F90",
+            "clubb_intr.F90",
+        }
+    ),
+    macros={"FC5": "1", "CPRINTEL": "1"},
+)
+
+#: All registered compsets by name.
+COMPSETS: dict[str, CompsetSpec] = {COMPSET_FC5.name: COMPSET_FC5}
+
+
+def get_compset(name: str) -> CompsetSpec:
+    """Look up a compset by name, raising ``KeyError`` with the known names."""
+    try:
+        return COMPSETS[name]
+    except KeyError:
+        known = ", ".join(sorted(COMPSETS))
+        raise KeyError(f"unknown compset {name!r} (known: {known})") from None
+
+
+def iter_module_specs(
+    compset: CompsetSpec | str | None = None,
+    include_uncompiled: bool = True,
+) -> Iterator[ModuleSpec]:
+    """Yield :class:`ModuleSpec` entries in build order.
+
+    Parameters
+    ----------
+    compset:
+        A :class:`CompsetSpec` or compset name.  Required when
+        ``include_uncompiled`` is False.
+    include_uncompiled:
+        When False, skip files the compset does not compile.
+    """
+    if isinstance(compset, str):
+        compset = get_compset(compset)
+    for spec in MODULE_SPECS:
+        if not include_uncompiled:
+            if compset is None:
+                raise ValueError("include_uncompiled=False requires a compset")
+            if not compset.compiles(spec):
+                continue
+        yield spec
+
+
+__all__ = [
+    "COMPSETS",
+    "COMPSET_FC5",
+    "CompsetSpec",
+    "MODULE_SPECS",
+    "ModuleSpec",
+    "ROLES",
+    "get_compset",
+    "iter_module_specs",
+]

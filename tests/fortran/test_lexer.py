@@ -64,6 +64,41 @@ class TestNumbers:
         vals = types_and_values("i == 1 .and. flag")
         assert (TokenType.DOTOP, ".and.") in vals
 
+    def test_integer_abutting_dot_eq(self):
+        # "1.eq.2" must not lex as REAL "1." / NAME "eq" / REAL ".2"
+        assert types_and_values("1.eq.2") == [
+            (TokenType.INTEGER, "1"),
+            (TokenType.OPERATOR, "=="),
+            (TokenType.INTEGER, "2"),
+        ]
+
+    def test_integer_abutting_dot_and(self):
+        assert types_and_values("1.and.x") == [
+            (TokenType.INTEGER, "1"),
+            (TokenType.DOTOP, ".and."),
+            (TokenType.NAME, "x"),
+        ]
+
+    def test_dot_exponent_still_real(self):
+        assert types_and_values("2.e3") == [(TokenType.REAL, "2.e3")]
+
+    def test_dot_d_exponent_still_real(self):
+        assert types_and_values("1.d0") == [(TokenType.REAL, "1.d0")]
+
+    def test_one_line_if_with_dot_eq(self):
+        vals = types_and_values("if (1.eq.2) x = 1")
+        assert (TokenType.INTEGER, "1") in vals
+        assert (TokenType.OPERATOR, "==") in vals
+        assert all(t is not TokenType.REAL for t, _ in vals)
+
+    def test_real_abutting_dotop(self):
+        # the fractional part ends where the dot-operator begins
+        assert types_and_values("1.5.and.x") == [
+            (TokenType.REAL, "1.5"),
+            (TokenType.DOTOP, ".and."),
+            (TokenType.NAME, "x"),
+        ]
+
 
 class TestStringsAndLogicals:
     def test_single_quoted_string(self):

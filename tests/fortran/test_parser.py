@@ -53,6 +53,53 @@ class TestExpressions:
         assert isinstance(expr, BinOp) and expr.op == "+"
         assert isinstance(expr.left, UnaryOp) and expr.left.op == "-"
 
+    def test_power_chain_groups_right(self):
+        # a ** b ** c  ==  a ** (b ** c): left operand of the root is bare "a"
+        expr = parse_expression("a ** b ** c")
+        assert isinstance(expr.left, VarRef) and expr.left.name == "a"
+        assert isinstance(expr.right.left, VarRef) and expr.right.left.name == "b"
+
+    def test_unary_minus_binds_looser_than_power(self):
+        # Fortran semantics: -a**b is -(a**b), not (-a)**b
+        expr = parse_expression("-a ** b")
+        assert isinstance(expr, UnaryOp) and expr.op == "-"
+        assert isinstance(expr.operand, BinOp) and expr.operand.op == "**"
+
+    def test_unary_minus_power_stops_at_lower_precedence(self):
+        # -a**b * c  ==  (-(a**b)) * c
+        expr = parse_expression("-a ** b * c")
+        assert isinstance(expr, BinOp) and expr.op == "*"
+        assert isinstance(expr.left, UnaryOp)
+        assert isinstance(expr.left.operand, BinOp) and expr.left.operand.op == "**"
+
+    def test_relational_binds_tighter_than_logical(self):
+        expr = parse_expression("a < b .and. c >= d")
+        assert isinstance(expr, BinOp) and expr.op == ".and."
+        assert isinstance(expr.left, BinOp) and expr.left.op == "<"
+        assert isinstance(expr.right, BinOp) and expr.right.op == ">="
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a .or. b .and. c")
+        assert isinstance(expr, BinOp) and expr.op == ".or."
+        assert isinstance(expr.right, BinOp) and expr.right.op == ".and."
+
+    def test_not_binds_looser_than_relational(self):
+        # .not. a == b  is  .not. (a == b) in Fortran
+        expr = parse_expression(".not. a == b")
+        assert isinstance(expr, UnaryOp) and expr.op == ".not."
+        assert isinstance(expr.operand, BinOp) and expr.operand.op == "=="
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression(".not. a .and. b")
+        assert isinstance(expr, BinOp) and expr.op == ".and."
+        assert isinstance(expr.left, UnaryOp) and expr.left.op == ".not."
+
+    def test_dot_eq_without_spaces_parses(self):
+        expr = parse_expression("1.eq.2 .and. x.lt.3")
+        assert isinstance(expr, BinOp) and expr.op == ".and."
+        assert isinstance(expr.left, BinOp) and expr.left.op == "=="
+        assert isinstance(expr.right, BinOp) and expr.right.op == "<"
+
     def test_parentheses_override_precedence(self):
         expr = parse_expression("(a + b) * c")
         assert isinstance(expr, BinOp) and expr.op == "*"

@@ -1,0 +1,70 @@
+"""Unit tests for the CPP-style preprocessor."""
+
+import pytest
+
+from repro.fortran.errors import PreprocessorError
+from repro.fortran.preprocessor import preprocess
+
+
+def line_texts(source, macros=None):
+    return [ln.text for ln in preprocess(source, macros=macros).lines]
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        src = "#ifdef FC5\nx = 1\n#endif\n"
+        assert line_texts(src, macros={"FC5": "1"}) == ["x = 1"]
+
+    def test_ifdef_not_taken(self):
+        src = "#ifdef FC5\nx = 1\n#endif\n"
+        assert line_texts(src) == []
+
+    def test_else_flips_branch(self):
+        src = "#ifdef FC5\nx = 1\n#else\nx = 2\n#endif\n"
+        assert line_texts(src) == ["x = 2"]
+        assert line_texts(src, macros={"FC5": "1"}) == ["x = 1"]
+
+    def test_duplicate_else_raises(self):
+        src = "#ifdef FC5\nx = 1\n#else\nx = 2\n#else\nx = 3\n#endif\n"
+        with pytest.raises(PreprocessorError, match="duplicate #else"):
+            preprocess(src)
+
+    def test_duplicate_else_raises_even_when_branch_taken(self):
+        src = "#ifdef FC5\nx = 1\n#else\nx = 2\n#else\nx = 3\n#endif\n"
+        with pytest.raises(PreprocessorError, match="duplicate #else"):
+            preprocess(src, macros={"FC5": "1"})
+
+    def test_nested_if_else_is_independent(self):
+        src = (
+            "#ifdef A\n"
+            "#ifdef B\nx = 1\n#else\nx = 2\n#endif\n"
+            "#else\nx = 3\n#endif\n"
+        )
+        assert line_texts(src, macros={"A": "1"}) == ["x = 2"]
+        assert line_texts(src) == ["x = 3"]
+
+    def test_else_without_if_raises(self):
+        with pytest.raises(PreprocessorError, match="#else without #if"):
+            preprocess("#else\n")
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(PreprocessorError, match="unterminated"):
+            preprocess("#ifdef FC5\nx = 1\n")
+
+
+class TestLogicalLines:
+    def test_continuation_merging(self):
+        src = "call foo(a, &\n  & b)\n"
+        assert line_texts(src) == ["call foo(a, b)"]
+
+    def test_comment_stripping_preserves_strings(self):
+        src = "msg = 'a!b' ! trailing\n"
+        assert line_texts(src) == ["msg = 'a!b'"]
+
+    def test_line_numbers_point_at_first_piece(self):
+        src = "x = 1\n\ny = 2 + &\n    3\n"
+        result = preprocess(src)
+        assert [(ln.text, ln.line) for ln in result.lines] == [
+            ("x = 1", 1),
+            ("y = 2 + 3", 3),
+        ]

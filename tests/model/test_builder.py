@@ -1,0 +1,113 @@
+"""Tests for the model registry, builder and bug-injection patches."""
+
+import pytest
+
+from repro.model import (
+    COMPSET_FC5,
+    ModelConfig,
+    ModelSource,
+    SourcePatch,
+    build_model_source,
+    get_patch,
+    iter_module_specs,
+    list_patches,
+)
+from repro.model.patches import PatchError
+from repro.model.registry import MODULE_SPECS, get_compset
+
+
+class TestRegistry:
+    def test_all_eleven_providers_contribute(self):
+        providers = {spec.provider for spec in MODULE_SPECS}
+        assert len(providers) == 11
+
+    def test_fc5_excludes_uncompiled_subsystems(self):
+        for name in ("cam_chemistry.F90", "waccm_physics.F90"):
+            assert not COMPSET_FC5.compiles(name)
+        assert COMPSET_FC5.compiles("seasalt_optics.F90")
+        assert COMPSET_FC5.compiles("micro_mg.F90")
+
+    def test_iter_module_specs_restricts_to_compiled(self):
+        every = list(iter_module_specs())
+        compiled = list(iter_module_specs(compset="FC5", include_uncompiled=False))
+        assert len(compiled) == len(every) - len(COMPSET_FC5.excluded_files)
+        # even with four files excluded, every provider still contributes
+        assert {s.provider for s in compiled} == {s.provider for s in every}
+
+    def test_unknown_compset_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="unknown compset"):
+            get_compset("B1850")
+
+
+class TestBuilder:
+    def test_build_returns_model_source(self):
+        src = build_model_source(ModelConfig())
+        assert isinstance(src, ModelSource)
+        assert set(src.compiled_files) < set(src.files)
+        assert "physpkg.F90" in src.compiled_files
+        assert "cam_chemistry.F90" not in src.compiled_files
+
+    def test_default_config_is_implied(self):
+        assert build_model_source().compset.name == "FC5"
+
+    def test_parse_covers_every_compiled_file(self):
+        src = build_model_source(ModelConfig())
+        asts = src.parse()
+        assert set(asts) == set(src.compiled_files)
+        # the front end parses the whole synthetic model without leftovers
+        for ast in asts.values():
+            for mod in ast.modules:
+                assert mod.unparsed == []
+
+    def test_modules_keyed_by_fortran_module_name(self):
+        mods = build_model_source(ModelConfig()).modules()
+        for expected in ("physpkg", "micro_mg", "cam_comp", "wv_saturation"):
+            assert expected in mods
+
+    def test_parse_is_cached(self):
+        src = build_model_source(ModelConfig())
+        assert src.parse() is src.parse()
+
+
+class TestPatches:
+    def test_list_and_get(self):
+        names = list_patches()
+        assert "goffgratch" in names
+        patch = get_patch("goffgratch")
+        assert isinstance(patch, SourcePatch)
+        assert patch.filename == "wv_saturation.F90"
+
+    def test_unknown_patch_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="unknown patch"):
+            get_patch("no-such-bug")
+
+    def test_every_registered_patch_applies_to_the_model(self):
+        clean = build_model_source(ModelConfig())
+        for name in list_patches():
+            patched = build_model_source(ModelConfig(patches=(name,)))
+            patch = get_patch(name)
+            assert patched.files[patch.filename] != clean.files[patch.filename]
+            assert patch.new in patched.files[patch.filename]
+            # patched source must still parse cleanly
+            patched.parse()
+
+    def test_patch_must_apply_exactly_once(self):
+        patch = SourcePatch(
+            name="x", filename="micro_mg.F90", description="",
+            old="0.0_r8", new="1.0_r8",
+        )
+        with pytest.raises(PatchError, match="exactly one"):
+            patch.apply(build_model_source().files)
+
+    def test_patch_missing_file_raises(self):
+        patch = SourcePatch(
+            name="x", filename="nope.F90", description="", old="a", new="b"
+        )
+        with pytest.raises(PatchError, match="missing file"):
+            patch.apply({})
+
+    def test_unpatched_model_is_untouched(self):
+        a = build_model_source(ModelConfig())
+        b = build_model_source(ModelConfig(patches=("goffgratch",)))
+        assert a.files["wv_saturation.F90"] != b.files["wv_saturation.F90"]
+        assert a.files["micro_mg.F90"] == b.files["micro_mg.F90"]

@@ -1,0 +1,76 @@
+"""The lazy public API of :mod:`repro` resolves or fails loudly.
+
+Every symbol in ``repro.__all__`` whose backing module is implemented must
+import; symbols whose backing module is a later PR must raise a clear
+``AttributeError`` naming the pending module — never a bare
+``ModuleNotFoundError`` out of attribute access.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+#: backing modules implemented as of this PR
+IMPLEMENTED_MODULES = {"repro.fortran", "repro.model", "repro.graphs"}
+
+IMPLEMENTED = sorted(
+    name
+    for name, (module, _) in repro._LAZY_EXPORTS.items()
+    if module in IMPLEMENTED_MODULES
+)
+PENDING = sorted(
+    name
+    for name, (module, _) in repro._LAZY_EXPORTS.items()
+    if module not in IMPLEMENTED_MODULES
+)
+
+
+def test_version_is_exported():
+    assert repro.__version__
+
+
+def test_all_lists_every_lazy_export():
+    assert set(repro._LAZY_EXPORTS) <= set(repro.__all__)
+
+
+@pytest.mark.parametrize("name", IMPLEMENTED)
+def test_implemented_symbols_resolve(name):
+    assert getattr(repro, name) is not None
+
+
+@pytest.mark.parametrize("name", IMPLEMENTED)
+def test_lazy_export_matches_direct_import(name):
+    module_name, attr = repro._LAZY_EXPORTS[name]
+    assert getattr(repro, name) is getattr(importlib.import_module(module_name), attr)
+
+
+@pytest.mark.parametrize("name", PENDING)
+def test_pending_symbols_raise_clear_attribute_error(name):
+    module_name, _ = repro._LAZY_EXPORTS[name]
+    with pytest.raises(AttributeError, match=module_name):
+        getattr(repro, name)
+
+
+def test_unknown_attribute_raises_attribute_error():
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.definitely_not_exported
+
+
+def test_dir_covers_all():
+    assert set(repro.__all__) <= set(dir(repro))
+
+
+def test_model_package_imports():
+    # the regression this PR fixes: `import repro.model` used to raise
+    module = importlib.import_module("repro.model")
+    assert sorted(module.__all__)
+    for name in module.__all__:
+        assert getattr(module, name) is not None
+
+
+def test_graphs_package_imports():
+    module = importlib.import_module("repro.graphs")
+    for name in module.__all__:
+        assert getattr(module, name) is not None
