@@ -38,10 +38,16 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     # model
     "build_model_source": ("repro.model", "build_model_source"),
     "ModelConfig": ("repro.model", "ModelConfig"),
+    "list_patches": ("repro.model", "list_patches"),
+    "get_patch": ("repro.model", "get_patch"),
+    "PatchError": ("repro.model", "PatchError"),
     # runtime
     "run_model": ("repro.runtime", "run_model"),
     "RunConfig": ("repro.runtime", "RunConfig"),
+    "RunResult": ("repro.runtime", "RunResult"),
     "FPConfig": ("repro.runtime", "FPConfig"),
+    "CoverageTrace": ("repro.runtime", "CoverageTrace"),
+    "Interpreter": ("repro.runtime", "Interpreter"),
     # graph
     "MetaGraph": ("repro.graphs", "MetaGraph"),
     "build_metagraph": ("repro.graphs", "build_metagraph"),

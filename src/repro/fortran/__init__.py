@@ -12,6 +12,7 @@ from .ast_nodes import (
     Assignment,
     BinOp,
     CallStmt,
+    CaseItem,
     Declaration,
     DerivedRef,
     DoLoop,
@@ -19,6 +20,7 @@ from .ast_nodes import (
     IfBlock,
     ModuleNode,
     NumberLit,
+    SelectCase,
     SourceFileAST,
     Stmt,
     StringLit,
@@ -47,6 +49,7 @@ __all__ = [
     "Assignment",
     "BinOp",
     "CallStmt",
+    "CaseItem",
     "Declaration",
     "DerivedRef",
     "DoLoop",
@@ -60,6 +63,7 @@ __all__ = [
     "NumberLit",
     "ParseError",
     "PreprocessorError",
+    "SelectCase",
     "SourceFileAST",
     "SourceLocation",
     "Stmt",

@@ -261,6 +261,45 @@ class DoWhile(Stmt):
 
 
 @dataclass
+class CaseItem:
+    """One item of a ``case`` selector list: a single value or a range.
+
+    ``case (3)`` is a value item; ``case (1:5)``, ``case (:0)`` and
+    ``case (7:)`` are (inclusive) range items with the absent bound ``None``.
+    """
+
+    value: Optional[Expr] = None
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+    is_range: bool = False
+
+    def exprs(self) -> Iterator[Expr]:
+        for part in (self.value, self.lower, self.upper):
+            if part is not None:
+                yield part
+
+
+@dataclass
+class SelectCase(Stmt):
+    """``select case (expr)`` ... ``case (...)`` / ``case default`` ... ``end select``.
+
+    ``cases`` is a list of (items, body) pairs in source order; the
+    ``case default`` branch has items ``None``.
+    """
+
+    selector: Expr = None  # type: ignore[assignment]
+    cases: list[tuple[Optional[list[CaseItem]], list[Stmt]]] = field(
+        default_factory=list
+    )
+
+    def children(self) -> Sequence[Stmt]:
+        out: list[Stmt] = []
+        for _, body in self.cases:
+            out.extend(body)
+        return out
+
+
+@dataclass
 class WhereBlock(Stmt):
     """``where (mask)`` ... ``end where`` (masked array assignment block)."""
 

@@ -18,6 +18,7 @@ from .ast_nodes import (
     Assignment,
     BinOp,
     CallStmt,
+    CaseItem,
     ContinueStmt,
     CycleStmt,
     Declaration,
@@ -36,6 +37,7 @@ from .ast_nodes import (
     Rename,
     ReturnStmt,
     SectionRange,
+    SelectCase,
     SourceFileAST,
     Stmt,
     StopStmt,
@@ -707,6 +709,15 @@ class Parser:
             return self._parse_if_block()
         if first.is_name("do"):
             return self._parse_do()
+        if first.is_name("selectcase") or (
+            first.is_name("select")
+            and len(tokens) > 1
+            and tokens[1].is_name("case")
+        ):
+            # only select *case*; `select type` stays on the simple-statement
+            # path so it degrades to the fallback parser like any other
+            # out-of-subset construct
+            return self._parse_select_case()
         if first.is_name("where") and self._is_where_block(tokens):
             return self._parse_where_block()
         self._advance_line()
@@ -850,6 +861,73 @@ class Parser:
             if stmt is not None:
                 target.append(stmt)
         return block
+
+    def _parse_select_case(self) -> SelectCase:
+        header = self._advance_line()
+        tokens = self._tokens(header)
+        loc = self._loc(header)
+        # "select case (expr)" or the squashed "selectcase (expr)"; the
+        # dispatch in _parse_executable guarantees one of the two shapes
+        skip = 1 if tokens[0].is_name("selectcase") else 2
+        selector = self._parse_paren_condition(tokens, skip=skip, loc=loc)
+        block = SelectCase(selector=selector, location=loc)
+        current_body: Optional[list[Stmt]] = None
+        while True:
+            line = self._current()
+            if line is None:
+                raise ParseError("unterminated select case block", loc)
+            tokens = self._tokens(line)
+            first = tokens[0]
+            if self._is_end_of(tokens, "select"):
+                self._advance_line()
+                break
+            if first.is_name("case"):
+                self._advance_line()
+                case_loc = self._loc(line)
+                if len(tokens) > 1 and tokens[1].is_name("default"):
+                    current_body = []
+                    block.cases.append((None, current_body))
+                    continue
+                items = self._parse_case_items(tokens, case_loc)
+                current_body = []
+                block.cases.append((items, current_body))
+                continue
+            if current_body is None:
+                raise ParseError(
+                    f"statement before first case in select case: {line.text!r}",
+                    self._loc(line),
+                )
+            stmt = self._parse_executable(line)
+            if stmt is not None:
+                current_body.append(stmt)
+        return block
+
+    def _parse_case_items(
+        self, tokens: list[Token], loc: SourceLocation
+    ) -> list[CaseItem]:
+        """Parse the selector list of one ``case (...)`` statement.
+
+        Reuses the argument-list parser: plain expressions become value items
+        and array-section-style ranges (``1:5``, ``:0``, ``7:``) become
+        inclusive range items.
+        """
+        parser = ExpressionParser(tokens, pos=1)
+        args, keywords = parser.parse_argument_list()
+        if keywords:
+            raise ParseError("keyword syntax is not valid in a case list", loc)
+        if not args:
+            raise ParseError("empty case selector list", loc)
+        items: list[CaseItem] = []
+        for arg in args:
+            if isinstance(arg, SectionRange):
+                if arg.stride is not None:
+                    raise ParseError("a case range cannot carry a stride", loc)
+                items.append(
+                    CaseItem(lower=arg.lower, upper=arg.upper, is_range=True)
+                )
+            else:
+                items.append(CaseItem(value=arg))
+        return items
 
     def _parse_simple_statement(
         self, tokens: list[Token], line: LogicalLine

@@ -103,6 +103,13 @@ class MetaGraphBuilder:
                     sub = subs.pop()
                     idx.subprograms[sub.name] = sub
                     idx.scopes[sub.name] = self._build_scope(sub)
+                    # subprogram-level `use` statements resolve the same
+                    # cross-module names (module-level approximation: the
+                    # import is indexed for the whole module, which can only
+                    # add resolutions, never lose them)
+                    for decl in sub.declarations:
+                        if isinstance(decl, UseStmt):
+                            self._index_use(idx, decl)
                     subs.extend(sub.contains)
                 self.index[mod.name] = idx
 

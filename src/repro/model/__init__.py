@@ -16,8 +16,23 @@ and the experiments inject bugs by patching that text
 """
 
 from .builder import ModelConfig, ModelSource, build_model_source
-from .patches import PatchError, SourcePatch, get_patch, list_patches
-from .registry import COMPSET_FC5, CompsetSpec, ModuleSpec, iter_module_specs
+from .patches import (
+    PatchError,
+    SourcePatch,
+    UnknownPatchError,
+    get_patch,
+    list_patches,
+)
+from .registry import (
+    COMPSET_FC5,
+    CompsetSpec,
+    ModuleSpec,
+    OUTPUT_FIELDS,
+    OUTPUT_FIELD_NAMES,
+    OutputField,
+    iter_module_specs,
+    iter_output_fields,
+)
 
 __all__ = [
     "COMPSET_FC5",
@@ -25,10 +40,15 @@ __all__ = [
     "ModelConfig",
     "ModelSource",
     "ModuleSpec",
+    "OUTPUT_FIELDS",
+    "OUTPUT_FIELD_NAMES",
+    "OutputField",
     "PatchError",
     "SourcePatch",
+    "UnknownPatchError",
     "build_model_source",
     "get_patch",
     "iter_module_specs",
+    "iter_output_fields",
     "list_patches",
 ]

@@ -46,7 +46,9 @@ class ModelConfig:
 
     compset: str = "FC5"
     patches: tuple[str, ...] = ()
-    macros: dict[str, str] = field(default_factory=dict, hash=False, compare=False)
+    #: compares (so run_model's source/config mismatch guard sees macro
+    #: differences) but stays out of the hash — dicts are unhashable
+    macros: dict[str, str] = field(default_factory=dict, hash=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.patches, tuple):

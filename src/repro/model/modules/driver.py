@@ -36,7 +36,7 @@ contains
         state%t(i,k) = tbase + 2.0_r8 * sin(clon(i) + k * 0.7_r8)
         state%u(i,k) = 22.0_r8 * (1.0_r8 - sigma) * cos(clat(i)) + 3.0_r8 * sin(2.0_r8 * clon(i))
         state%v(i,k) = 2.5_r8 * sin(clat(i)) * cos(clon(i) + sigma)
-        state%q(i,k) = 1.2e-2_r8 * sigma ** 1.5_r8 * cos(clat(i)) + 1.0e-6_r8
+        state%q(i,k) = 4.2e-3_r8 * sigma ** 1.5_r8 * cos(clat(i)) + 1.0e-6_r8
         state%qc(i,k) = 1.0e-6_r8 * sigma
         state%qi(i,k) = 2.0e-7_r8 * (1.0_r8 - sigma)
         state%nc(i,k) = 5.0e7_r8 * sigma

@@ -38,6 +38,19 @@ class PatchError(ValueError):
     """Raised when a patch cannot be applied exactly once to its file."""
 
 
+class UnknownPatchError(PatchError, KeyError):
+    """Raised for a patch name that is not registered.
+
+    Subclasses both :class:`PatchError` (so ``ModelConfig(patches=...)``
+    failures surface as patch errors, not bare ``KeyError`` out of a dict
+    lookup) and :class:`KeyError` (for callers treating the registry as a
+    mapping).
+    """
+
+    def __str__(self) -> str:  # avoid KeyError's repr-quoting of the message
+        return self.args[0] if self.args else ""
+
+
 @dataclass(frozen=True)
 class SourcePatch:
     """An exact-match, apply-once text substitution in one Fortran file."""
@@ -60,6 +73,13 @@ class SourcePatch:
             )
         text = files[self.filename]
         occurrences = text.count(self.old)
+        if occurrences == 0:
+            known = ", ".join(list_patches())
+            raise PatchError(
+                f"patch {self.name!r} found no occurrence of its target text "
+                f"in {self.filename!r} — the model source has drifted under "
+                f"this patch (registered patches: {known})"
+            )
         if occurrences != 1:
             raise PatchError(
                 f"patch {self.name!r} expected exactly one occurrence of its "
@@ -132,12 +152,20 @@ _register(
 
 
 def get_patch(name: str) -> SourcePatch:
-    """Look up a registered patch, raising ``KeyError`` with known names."""
+    """Look up a registered patch.
+
+    Raises :class:`UnknownPatchError` (a :class:`PatchError` that is also a
+    ``KeyError``) naming the known patches, so a typo in
+    ``ModelConfig(patches=...)`` fails loudly instead of leaking a bare
+    ``KeyError`` out of :func:`repro.model.builder.build_model_source`.
+    """
     try:
         return _PATCHES[name]
     except KeyError:
         known = ", ".join(sorted(_PATCHES))
-        raise KeyError(f"unknown patch {name!r} (known: {known})") from None
+        raise UnknownPatchError(
+            f"unknown patch {name!r} (known: {known})"
+        ) from None
 
 
 def list_patches() -> list[str]:
@@ -145,4 +173,10 @@ def list_patches() -> list[str]:
     return sorted(_PATCHES)
 
 
-__all__ = ["PatchError", "SourcePatch", "get_patch", "list_patches"]
+__all__ = [
+    "PatchError",
+    "SourcePatch",
+    "UnknownPatchError",
+    "get_patch",
+    "list_patches",
+]

@@ -126,6 +126,92 @@ COMPSET_FC5 = CompsetSpec(
 COMPSETS: dict[str, CompsetSpec] = {COMPSET_FC5.name: COMPSET_FC5}
 
 
+@dataclass(frozen=True)
+class OutputField:
+    """One named history output variable the model writes via ``outfld``.
+
+    This is the registry's contract with the runtime: a full model run must
+    produce every declared field (``repro.runtime.run_model`` validates it),
+    and the ensemble/ECT stages consume exactly this variable set — the
+    analogue of the paper's 120 CAM output variables.
+    """
+
+    name: str        #: history field name, e.g. ``"PRECT"``
+    filename: str    #: Fortran file whose module writes the field
+    rank: int        #: 1 for (pcols) fields, 2 for (pcols, pver) fields
+
+    def __post_init__(self) -> None:
+        if self.rank not in (1, 2):
+            raise ValueError(f"output field rank must be 1 or 2, got {self.rank}")
+
+
+#: Every output variable the synthetic model writes, in write order.
+OUTPUT_FIELDS: tuple[OutputField, ...] = (
+    # cloud fraction diagnostics
+    OutputField("CLDTOT", "cloud_fraction.F90", 1),
+    OutputField("CLDLOW", "cloud_fraction.F90", 1),
+    OutputField("CLDMED", "cloud_fraction.F90", 1),
+    OutputField("CLDHGH", "cloud_fraction.F90", 1),
+    # aerosol / sub-grid velocity
+    OutputField("WSUB", "microp_aero.F90", 1),
+    OutputField("CCN3", "microp_aero.F90", 2),
+    # stratiform microphysics
+    OutputField("AQSNOW", "micro_mg.F90", 2),
+    OutputField("ANSNOW", "micro_mg.F90", 2),
+    OutputField("FREQS", "micro_mg.F90", 2),
+    OutputField("PRECT", "micro_mg.F90", 1),
+    OutputField("PRECSL", "micro_mg.F90", 1),
+    # deep convection
+    OutputField("PRECC", "convect_deep.F90", 1),
+    OutputField("CAPE", "convect_deep.F90", 1),
+    # radiation
+    OutputField("FLDS", "radlw.F90", 1),
+    OutputField("FLNS", "radlw.F90", 1),
+    OutputField("QRL", "radlw.F90", 2),
+    OutputField("FSDS", "radsw.F90", 1),
+    OutputField("FSNS", "radsw.F90", 1),
+    OutputField("QRS", "radsw.F90", 2),
+    # boundary layer / surface exchange
+    OutputField("TAUX", "vertical_diffusion.F90", 1),
+    OutputField("TAUY", "vertical_diffusion.F90", 1),
+    OutputField("SHFLX", "vertical_diffusion.F90", 1),
+    OutputField("LHFLX", "vertical_diffusion.F90", 1),
+    OutputField("TREFHT", "vertical_diffusion.F90", 1),
+    OutputField("U10", "vertical_diffusion.F90", 1),
+    # surface components
+    OutputField("SNOWHLND", "lnd_comp.F90", 1),
+    OutputField("TSLAND", "lnd_comp.F90", 1),
+    OutputField("TS", "surface_merge.F90", 1),
+    # physics driver total precipitation
+    OutputField("PRECL", "physpkg.F90", 1),
+    # state diagnostics
+    OutputField("Z3", "cam_diagnostics.F90", 2),
+    OutputField("OMEGA", "cam_diagnostics.F90", 2),
+    OutputField("T", "cam_diagnostics.F90", 2),
+    OutputField("UU", "cam_diagnostics.F90", 2),
+    OutputField("VV", "cam_diagnostics.F90", 2),
+    OutputField("Q", "cam_diagnostics.F90", 2),
+    OutputField("OMEGAT", "cam_diagnostics.F90", 2),
+    OutputField("PS", "cam_diagnostics.F90", 1),
+    OutputField("CLOUD", "cam_diagnostics.F90", 2),
+    OutputField("RELHUM", "cam_diagnostics.F90", 2),
+)
+
+#: Field names in declaration order (the paper's output-variable vector).
+OUTPUT_FIELD_NAMES: tuple[str, ...] = tuple(f.name for f in OUTPUT_FIELDS)
+
+
+def iter_output_fields(
+    compset: CompsetSpec | str | None = None,
+) -> Iterator[OutputField]:
+    """Yield declared output fields, restricted to files ``compset`` compiles."""
+    if isinstance(compset, str):
+        compset = get_compset(compset)
+    for fld in OUTPUT_FIELDS:
+        if compset is None or compset.compiles(fld.filename):
+            yield fld
+
+
 def get_compset(name: str) -> CompsetSpec:
     """Look up a compset by name, raising ``KeyError`` with the known names."""
     try:
@@ -166,7 +252,11 @@ __all__ = [
     "CompsetSpec",
     "MODULE_SPECS",
     "ModuleSpec",
+    "OUTPUT_FIELDS",
+    "OUTPUT_FIELD_NAMES",
+    "OutputField",
     "ROLES",
     "get_compset",
     "iter_module_specs",
+    "iter_output_fields",
 ]

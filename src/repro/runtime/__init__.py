@@ -1,0 +1,193 @@
+"""Numerical runtime for the synthetic model: interpret, perturb, instrument.
+
+This package executes the model the rest of the pipeline analyses statically:
+an AST-walking interpreter (:mod:`repro.runtime.interpreter`) runs over the
+*same* cached ASTs that :meth:`repro.model.builder.ModelSource.parse` shares
+with the metagraph builder, so numbers and digraph always describe one build.
+The stable entry point is :func:`run_model`; downstream modules
+(``repro.ensemble``, ``repro.ect``, ``repro.coverage``, ``repro.slicing``)
+consume only :class:`RunResult` and never touch evaluator internals.
+
+``RunConfig`` knobs
+-------------------
+``model``
+    The :class:`repro.model.ModelConfig` to build and run — compset choice,
+    bug-injection ``patches``, extra preprocessor ``macros``.  The default is
+    the unpatched FC5 control build.
+``nsteps``
+    Number of ``cam_run_step`` time steps after ``cam_init`` (default 2; the
+    paper's coverage/ensemble runs also use a handful of steps).
+``pertlim``
+    Initial-condition temperature perturbation magnitude, the paper's
+    ensemble-generation knob (default 0.0 — the control trajectory).
+``seed``
+    Base seed of the reproducible stream-per-module PRNGs
+    (:mod:`repro.runtime.prng`).  Identical configs give bit-identical runs.
+``fp``
+    The :class:`FPConfig` floating-point model (:mod:`repro.runtime.fpu`):
+    ``fma`` turns on fused contraction of ``a*b + c`` patterns (optionally
+    restricted to ``fma_modules``), ``flush_to_zero`` models ``-ftz``.  This
+    is how patched-vs-unpatched *compiler flag* experiments diverge at the
+    ULP level.
+``collect_coverage``
+    Record per-(file, line) execution counts into a
+    :class:`CoverageTrace` (default True; turn off for speed inside large
+    ensembles once coverage is known).
+``max_statements``
+    Hard budget on executed statements — a guard against runaway loops in
+    badly patched models.
+
+>>> result = run_model(RunConfig(nsteps=1))
+>>> vec = result.output_vector()          # name -> global-mean float
+>>> sorted(result.coverage.files())[0]    # executed files only
+'cam_comp.F90'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..model.builder import ModelConfig, ModelSource, build_model_source
+from ..model.registry import iter_output_fields
+from .coverage import CoverageTrace
+from .fpu import FPConfig, FPU
+from .interpreter import (
+    History,
+    Interpreter,
+    StatementLimitExceeded,
+    StopModel,
+)
+from .prng import PRNGStreams, Stream
+from .values import (
+    DerivedValue,
+    FortranRuntimeError,
+    IntentViolationError,
+    Scope,
+    UndefinedNameError,
+)
+
+__all__ = [
+    "CoverageTrace",
+    "DerivedValue",
+    "FPConfig",
+    "FPU",
+    "FortranRuntimeError",
+    "History",
+    "IntentViolationError",
+    "Interpreter",
+    "PRNGStreams",
+    "RunConfig",
+    "RunResult",
+    "Scope",
+    "StatementLimitExceeded",
+    "StopModel",
+    "Stream",
+    "UndefinedNameError",
+    "run_model",
+]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One model run: build configuration plus runtime knobs (see above)."""
+
+    model: ModelConfig = field(default_factory=ModelConfig)
+    nsteps: int = 2
+    pertlim: float = 0.0
+    seed: int = 12345
+    fp: FPConfig = field(default_factory=FPConfig)
+    collect_coverage: bool = True
+    max_statements: int = 50_000_000
+
+
+@dataclass
+class RunResult:
+    """Everything one run produces for the downstream pipeline stages."""
+
+    config: RunConfig
+    outputs: dict[str, np.ndarray]
+    coverage: CoverageTrace
+    statements_executed: int
+    prng_draws: int
+
+    def output_vector(self) -> dict[str, float]:
+        """The named output-variable vector: global mean of every field,
+        ordered like the registry's output-field declarations."""
+        return {
+            name: float(np.mean(value)) for name, value in self.outputs.items()
+        }
+
+    def is_finite(self) -> bool:
+        """True when every output field is finite everywhere."""
+        return all(bool(np.isfinite(v).all()) for v in self.outputs.values())
+
+    def difference(self, other: "RunResult") -> dict[str, float]:
+        """Max absolute elementwise difference per shared output field."""
+        out: dict[str, float] = {}
+        for name, value in self.outputs.items():
+            if name in other.outputs:
+                out[name] = float(np.max(np.abs(value - other.outputs[name])))
+        return out
+
+
+def run_model(
+    config: Optional[RunConfig] = None,
+    source: Optional[ModelSource] = None,
+) -> RunResult:
+    """Build, initialise and step the model; collect outputs and coverage.
+
+    Parameters
+    ----------
+    config:
+        The :class:`RunConfig` (default: unpatched FC5 control run).
+    source:
+        An already-built :class:`~repro.model.builder.ModelSource` to reuse
+        (its cached parse is shared with the metagraph builder).  Must match
+        ``config.model``; omit it to build from the config.
+    """
+    config = config or RunConfig()
+    if source is None:
+        source = build_model_source(config.model)
+    elif source.config != config.model:
+        raise ValueError(
+            "the provided ModelSource was built from a different ModelConfig "
+            "than config.model"
+        )
+    asts = source.parse()
+
+    interp = Interpreter(
+        asts,
+        fp=config.fp,
+        seed=config.seed,
+        collect_coverage=config.collect_coverage,
+        max_statements=config.max_statements,
+    )
+    interp.call("cam_comp", "cam_init", [float(config.pertlim), int(config.seed)])
+    for _ in range(config.nsteps):
+        interp.call("cam_comp", "cam_run_step", [])
+
+    declared = [f.name for f in iter_output_fields(source.compset)]
+    missing = [name for name in declared if name not in interp.history.fields]
+    if missing:
+        raise FortranRuntimeError(
+            "run completed but declared output fields were never written: "
+            + ", ".join(missing)
+        )
+    outputs: dict[str, np.ndarray] = {}
+    for name in declared:
+        outputs[name] = np.asarray(interp.history.fields[name])
+    # fields written but not declared ride along at the end, sorted
+    for name in sorted(set(interp.history.fields) - set(declared)):
+        outputs[name] = np.asarray(interp.history.fields[name])
+
+    coverage = interp.coverage if interp.coverage is not None else CoverageTrace()
+    return RunResult(
+        config=config,
+        outputs=outputs,
+        coverage=coverage,
+        statements_executed=interp.statements_executed,
+        prng_draws=interp.prng.total_draws(),
+    )

@@ -529,3 +529,165 @@ end module hopeless
         assert any(
             isinstance(s, Assignment) and not s.from_fallback for s in sub.body
         )
+
+
+# --------------------------------------------------------------------------- #
+# Corner cases the interpreter exercises (PR: repro.runtime)
+# --------------------------------------------------------------------------- #
+class TestInterpreterCornerCases:
+    def test_nested_do_loops_with_negative_step(self):
+        src = """
+module m
+  implicit none
+contains
+  subroutine s(a, n)
+    integer, intent(in) :: n
+    real, intent(out) :: a(n, n)
+    integer :: i, k
+    do k = n, 1, -1
+      do i = n, 1, -2
+        a(i, k) = i * k
+      end do
+    end do
+  end subroutine s
+end module m
+"""
+        sub = parse_source(src).modules[0].subprograms["s"]
+        outer = sub.body[0]
+        assert isinstance(outer, DoLoop)
+        assert outer.var == "k"
+        assert isinstance(outer.step, UnaryOp) and outer.step.op == "-"
+        inner = outer.body[0]
+        assert isinstance(inner, DoLoop)
+        assert inner.var == "i"
+        assert isinstance(inner.step, UnaryOp)
+        assert isinstance(inner.step.operand, NumberLit)
+        assert inner.step.operand.value == 2
+        assert isinstance(inner.body[0], Assignment)
+
+    def test_select_case_with_ranges(self):
+        from repro.fortran.ast_nodes import CaseItem, SelectCase
+
+        src = """
+module m
+  implicit none
+contains
+  subroutine s(k, r)
+    integer, intent(in) :: k
+    integer, intent(out) :: r
+    select case (k)
+    case (:0)
+      r = -1
+    case (1:5, 9)
+      r = 1
+    case (10:)
+      r = 2
+    case default
+      r = 0
+    end select
+  end subroutine s
+end module m
+"""
+        sub = parse_source(src).modules[0].subprograms["s"]
+        block = sub.body[0]
+        assert isinstance(block, SelectCase)
+        assert len(block.cases) == 4
+        low, mid, high, default = block.cases
+        assert default[0] is None
+        (item,) = low[0]
+        assert isinstance(item, CaseItem) and item.is_range
+        assert item.lower is None and item.upper is not None
+        range_item, value_item = mid[0]
+        assert range_item.is_range
+        assert range_item.lower.value == 1 and range_item.upper.value == 5
+        assert not value_item.is_range and value_item.value.value == 9
+        (open_item,) = high[0]
+        assert open_item.is_range and open_item.upper is None
+        # each branch carries its own body
+        assert all(len(body) == 1 for _, body in block.cases)
+
+    def test_select_case_statement_walk_reaches_case_bodies(self):
+        from repro.fortran.ast_nodes import SelectCase
+
+        src = """
+module m
+  implicit none
+contains
+  subroutine s(k, r)
+    integer, intent(in) :: k
+    integer, intent(out) :: r
+    select case (k)
+    case (1)
+      r = 10
+    case default
+      r = 20
+    end select
+  end subroutine s
+end module m
+"""
+        sub = parse_source(src).modules[0].subprograms["s"]
+        stmts = list(sub.walk_statements())
+        assert sum(isinstance(s, SelectCase) for s in stmts) == 1
+        assert sum(isinstance(s, Assignment) for s in stmts) == 2
+
+    def test_call_statement_with_keyword_arguments(self):
+        src = """
+module m
+  implicit none
+contains
+  subroutine s()
+    real :: t, es
+    call qsat(t, es=es, p=101325.0)
+  end subroutine s
+end module m
+"""
+        sub = parse_source(src).modules[0].subprograms["s"]
+        call = sub.body[0]
+        assert isinstance(call, CallStmt)
+        assert call.name == "qsat"
+        assert len(call.args) == 1
+        assert set(call.keywords) == {"es", "p"}
+        assert isinstance(call.keywords["es"], VarRef)
+        assert isinstance(call.keywords["p"], NumberLit)
+
+    def test_case_list_rejects_strides(self):
+        # a stride has no meaning in a case range; like other malformed
+        # block constructs this is a hard parse error, not a fallback
+        bad_stride = """
+module m
+  implicit none
+contains
+  subroutine s(k)
+    integer, intent(in) :: k
+    select case (k)
+    case (1:5:2)
+      k = 0
+    end select
+  end subroutine s
+end module m
+"""
+        with pytest.raises(ParseError, match="stride"):
+            parse_source(bad_stride)
+
+    def test_select_type_degrades_to_fallback_not_parse_error(self):
+        # regression: only `select case` owns the block parser; other
+        # select constructs stay out-of-subset and must not hard-fail
+        src = """
+module m
+  implicit none
+contains
+  subroutine s(x)
+    real, intent(inout) :: x
+    select type (obj)
+    end select
+    x = 1.0
+  end subroutine s
+end module m
+"""
+        mod = parse_source(src).modules[0]
+        sub = mod.subprograms["s"]
+        # the real assignment after the unsupported block still parses
+        assert any(
+            isinstance(s, Assignment) and not getattr(s, "from_fallback", False)
+            for s in sub.body
+        )

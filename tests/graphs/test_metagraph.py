@@ -220,3 +220,34 @@ class TestFullCompsetGraph:
         # wsubbug *removes* a read (tkebg) so shape may differ there; rand-mt
         # only flips a sign, so the edge sets agree exactly
         assert set(patched.edges()) == set(clean.edges())
+
+
+def test_subprogram_level_use_resolves_cross_module():
+    # regression: `use` inside a subroutine body used to be dropped,
+    # leaving a phantom implicit-kind local instead of the module variable
+    from repro.fortran import parse_source
+    from repro.graphs import build_metagraph
+
+    sources = {
+        "b.F90": """
+module b
+  implicit none
+  real :: x = 1.0
+end module b
+""",
+        "a.F90": """
+module a
+  implicit none
+contains
+  subroutine s(y)
+    use b, only: x
+    real, intent(out) :: y
+    y = x + 1.0
+  end subroutine s
+end module a
+""",
+    }
+    asts = {name: parse_source(text, filename=name) for name, text in sources.items()}
+    graph = build_metagraph(asts)
+    assert ("b", "", "x") in graph
+    assert ("a", "s", "y") in graph.successors(("b", "", "x"))

@@ -68,6 +68,73 @@ class TestBuilder:
         src = build_model_source(ModelConfig())
         assert src.parse() is src.parse()
 
+    def test_parse_cache_returns_identical_ast_objects(self):
+        # the interpreter and the metagraph builder must share one parse:
+        # the second call returns the very same SourceFileAST objects
+        src = build_model_source(ModelConfig())
+        first = src.parse()
+        second = src.parse()
+        for name, ast in first.items():
+            assert second[name] is ast
+
+    def test_parse_include_uncompiled_covers_every_file(self):
+        src = build_model_source(ModelConfig())
+        all_asts = src.parse(include_uncompiled=True)
+        assert set(all_asts) == set(src.files)
+        assert set(src.files) - set(src.compiled_files) == set(
+            src.compset.excluded_files
+        )
+        # excluded subsystems parse cleanly even though they never compile
+        for name in src.compset.excluded_files:
+            assert all_asts[name].modules
+
+    def test_parse_include_uncompiled_does_not_poison_the_cache(self):
+        src = build_model_source(ModelConfig())
+        cached = src.parse()
+        src.parse(include_uncompiled=True)
+        assert src.parse() is cached
+        assert set(src.parse()) == set(src.compiled_files)
+
+
+class TestOutputRegistry:
+    def test_field_names_are_unique(self):
+        from repro.model import OUTPUT_FIELD_NAMES
+
+        assert len(OUTPUT_FIELD_NAMES) == len(set(OUTPUT_FIELD_NAMES))
+
+    def test_fields_point_at_registered_files(self):
+        from repro.model import OUTPUT_FIELDS
+
+        known = {spec.filename for spec in MODULE_SPECS}
+        for fld in OUTPUT_FIELDS:
+            assert fld.filename in known, fld
+
+    def test_registry_matches_the_outfld_calls_in_the_source(self):
+        # every outfld/outfld2d call in the model writes a declared field,
+        # and every declared field is written somewhere in its file
+        import re
+
+        from repro.model import OUTPUT_FIELDS
+
+        src = build_model_source(ModelConfig())
+        call_re = re.compile(r"call\s+outfld(?:2d)?\('([A-Z0-9]+)',")
+        written: dict[str, set[str]] = {}
+        for filename, text in src.files.items():
+            for name in call_re.findall(text):
+                written.setdefault(name, set()).add(filename)
+        declared = {fld.name: fld.filename for fld in OUTPUT_FIELDS}
+        assert set(written) == set(declared)
+        for name, filename in declared.items():
+            assert filename in written[name], name
+
+    def test_iter_output_fields_respects_the_compset(self):
+        from repro.model import iter_output_fields
+
+        names = [f.name for f in iter_output_fields(COMPSET_FC5)]
+        assert "PRECT" in names and "T" in names
+        all_names = [f.name for f in iter_output_fields()]
+        assert set(names) <= set(all_names)
+
 
 class TestPatches:
     def test_list_and_get(self):
@@ -105,6 +172,32 @@ class TestPatches:
         )
         with pytest.raises(PatchError, match="missing file"):
             patch.apply({})
+
+    def test_unknown_patch_name_in_config_raises_patch_error(self):
+        # regression: this used to leak a bare KeyError out of
+        # build_model_source instead of a PatchError naming the registry
+        with pytest.raises(PatchError, match="goffgratch"):
+            build_model_source(ModelConfig(patches=("no-such-bug",)))
+
+    def test_unknown_patch_error_is_also_a_key_error(self):
+        from repro.model.patches import UnknownPatchError
+
+        with pytest.raises(UnknownPatchError) as excinfo:
+            get_patch("no-such-bug")
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, PatchError)
+        # message lists every registered patch, unmangled by KeyError repr
+        for name in list_patches():
+            assert name in str(excinfo.value)
+
+    def test_absent_target_text_names_the_known_patches(self):
+        patch = SourcePatch(
+            name="x", filename="micro_mg.F90", description="",
+            old="this text is nowhere", new="y",
+        )
+        with pytest.raises(PatchError, match="drifted") as excinfo:
+            patch.apply(build_model_source().files)
+        assert "goffgratch" in str(excinfo.value)
 
     def test_unpatched_model_is_untouched(self):
         a = build_model_source(ModelConfig())

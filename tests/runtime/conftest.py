@@ -1,0 +1,15 @@
+"""Shared fixtures for the interpreter conformance suite.
+
+The unpatched control run is the comparison baseline of half the suite, so
+it is computed once per session; every test treats results as read-only.
+"""
+
+import pytest
+
+from repro.runtime import RunConfig, run_model
+
+
+@pytest.fixture(scope="session")
+def control_run():
+    """One-step unpatched FC5 control run (shared, read-only)."""
+    return run_model(RunConfig(nsteps=1))

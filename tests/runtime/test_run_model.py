@@ -1,0 +1,173 @@
+"""Full-model conformance: completion, determinism, divergence, coverage.
+
+These are the acceptance tests of the `repro.runtime` tentpole: an unpatched
+FC5 run completes with a finite named-output-variable vector and a non-empty
+coverage trace; identical configs reproduce bit-identically; every
+registered bug patch and the FMA compiler-flag knob produce numerically
+different outputs; and files the compset excludes (or the first steps never
+reach) never appear in the trace.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.model import (
+    COMPSET_FC5,
+    ModelConfig,
+    OUTPUT_FIELD_NAMES,
+    PatchError,
+    build_model_source,
+    list_patches,
+)
+from repro.runtime import CoverageTrace, FPConfig, RunConfig, RunResult, run_model
+
+
+class TestControlRun:
+    def test_completes_with_finite_outputs(self, control_run):
+        assert isinstance(control_run, RunResult)
+        assert control_run.is_finite()
+
+    def test_every_declared_output_field_is_produced(self, control_run):
+        assert set(OUTPUT_FIELD_NAMES) <= set(control_run.outputs)
+        vector = control_run.output_vector()
+        assert len(vector) >= len(OUTPUT_FIELD_NAMES)
+        assert all(np.isfinite(v) for v in vector.values())
+
+    def test_output_vector_preserves_registry_order(self, control_run):
+        names = list(control_run.output_vector())
+        assert names[: len(OUTPUT_FIELD_NAMES)] == list(OUTPUT_FIELD_NAMES)
+
+    def test_outputs_are_physically_plausible(self, control_run):
+        vec = control_run.output_vector()
+        assert 180.0 < vec["T"] < 320.0          # global mean temperature, K
+        assert 50000.0 < vec["PS"] < 110000.0    # surface pressure, Pa
+        assert 0.0 <= vec["CLDTOT"] <= 1.0       # cloud fraction
+        assert vec["PRECT"] >= 0.0               # precipitation rate
+
+    def test_coverage_trace_is_non_empty(self, control_run):
+        trace = control_run.coverage
+        assert isinstance(trace, CoverageTrace)
+        assert trace.total_statements > 1000
+        assert len(trace.files()) > 20
+
+    def test_run_model_via_public_facade(self, control_run):
+        result = repro.run_model(repro.RunConfig(nsteps=1))
+        assert result.output_vector() == control_run.output_vector()
+
+
+class TestDeterminism:
+    def test_same_config_is_bit_identical(self, control_run):
+        again = run_model(RunConfig(nsteps=1))
+        assert set(again.outputs) == set(control_run.outputs)
+        for name, value in control_run.outputs.items():
+            assert np.array_equal(value, again.outputs[name]), name
+
+    def test_same_config_gives_identical_coverage(self, control_run):
+        again = run_model(RunConfig(nsteps=1))
+        assert again.coverage == control_run.coverage
+        assert again.statements_executed == control_run.statements_executed
+        assert again.prng_draws == control_run.prng_draws
+
+    def test_different_seed_diverges(self, control_run):
+        other = run_model(RunConfig(nsteps=1, seed=99999))
+        diffs = control_run.difference(other)
+        assert any(v > 0 for v in diffs.values())
+
+    def test_pertlim_perturbs_the_trajectory(self, control_run):
+        other = run_model(RunConfig(nsteps=1, pertlim=1.0e-8))
+        diffs = control_run.difference(other)
+        assert any(v > 0 for v in diffs.values())
+
+
+class TestDivergence:
+    @pytest.mark.parametrize("patch_name", sorted(list_patches()))
+    def test_each_registered_patch_changes_the_outputs(self, control_run, patch_name):
+        patched = run_model(
+            RunConfig(model=ModelConfig(patches=(patch_name,)), nsteps=1)
+        )
+        assert patched.is_finite()
+        diffs = patched.difference(control_run)
+        changed = [name for name, v in diffs.items() if v > 0]
+        assert changed, f"patch {patch_name!r} produced bit-identical outputs"
+
+    def test_fma_mode_changes_at_least_one_output(self, control_run):
+        fused = run_model(RunConfig(nsteps=1, fp=FPConfig(fma=True)))
+        assert fused.is_finite()
+        diffs = fused.difference(control_run)
+        changed = [name for name, v in diffs.items() if v > 0]
+        assert changed
+        # ULP-level origin: the largest change after one step stays small
+        assert max(diffs.values()) < 1.0
+
+    def test_fma_restricted_to_one_module_still_diverges(self, control_run):
+        # dyn_hydrostatic's hyam*p0 + hybm*ps contraction writes pressure
+        # state directly, so its ULP-level difference survives to outputs
+        # (micro_mg's fused sites only perturb tiny tendencies that are
+        # absorbed when added to much larger state values)
+        fused = run_model(
+            RunConfig(
+                nsteps=1,
+                fp=FPConfig(fma=True, fma_modules=frozenset({"dyn_hydrostatic"})),
+            )
+        )
+        diffs = fused.difference(control_run)
+        assert any(v > 0 for v in diffs.values())
+
+
+class TestCoverageSanity:
+    def test_uncompiled_files_never_appear_in_the_trace(self, control_run):
+        executed = set(control_run.coverage.files())
+        assert not executed & COMPSET_FC5.excluded_files
+
+    def test_compiled_but_unreached_files_never_appear(self, control_run):
+        executed = set(control_run.coverage.files())
+        # compiled into the build, but not called in the first steps
+        for unreached in ("seasalt_optics.F90", "restart_mod.F90",
+                          "abortutils.F90", "cam_logfile.F90"):
+            assert unreached not in executed
+
+    def test_every_traced_file_is_a_compiled_file(self, control_run):
+        source = build_model_source(ModelConfig())
+        assert set(control_run.coverage.files()) <= set(source.compiled_files)
+
+    def test_hot_physics_files_are_traced(self, control_run):
+        executed = set(control_run.coverage.files())
+        for hot in ("micro_mg.F90", "cloud_fraction.F90", "dyn_comp.F90",
+                    "physpkg.F90", "cam_comp.F90"):
+            assert hot in executed
+
+    def test_coverage_can_be_disabled(self):
+        result = run_model(RunConfig(nsteps=1, collect_coverage=False))
+        assert result.coverage.total_statements == 0
+        assert result.is_finite()
+
+
+class TestRunModelInterface:
+    def test_source_reuse_shares_the_parse(self, control_run):
+        source = build_model_source(ModelConfig())
+        asts = source.parse()
+        result = run_model(RunConfig(nsteps=1), source=source)
+        assert source.parse() is asts  # cache untouched by the run
+        assert result.output_vector() == control_run.output_vector()
+
+    def test_source_config_mismatch_is_loud(self):
+        source = build_model_source(ModelConfig(patches=("goffgratch",)))
+        with pytest.raises(ValueError, match="different ModelConfig"):
+            run_model(RunConfig(nsteps=1), source=source)
+
+    def test_source_macro_mismatch_is_loud(self):
+        # regression: macros used to be excluded from ModelConfig equality,
+        # so a differently-preprocessed source slipped past the guard
+        source = build_model_source(ModelConfig(macros={"WACCM_PHYS": "1"}))
+        with pytest.raises(ValueError, match="different ModelConfig"):
+            run_model(RunConfig(nsteps=1), source=source)
+
+    def test_unknown_patch_name_raises_patch_error(self):
+        with pytest.raises(PatchError, match="known"):
+            run_model(RunConfig(model=ModelConfig(patches=("no-such-bug",))))
+
+    def test_two_steps_stay_finite(self):
+        result = run_model(RunConfig(nsteps=2))
+        assert result.is_finite()
+        assert result.statements_executed > 0

@@ -13,7 +13,7 @@ import pytest
 import repro
 
 #: backing modules implemented as of this PR
-IMPLEMENTED_MODULES = {"repro.fortran", "repro.model", "repro.graphs"}
+IMPLEMENTED_MODULES = {"repro.fortran", "repro.model", "repro.graphs", "repro.runtime"}
 
 IMPLEMENTED = sorted(
     name
