@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Benchmark the interpreter hot path and ensemble throughput.
+
+Writes ``BENCH_ensemble.json`` (repo root by default) with
+
+* ``dispatch_s`` / ``compiled_s`` — best-of-R single-run wall time of the
+  dispatch-walking interpreter (``compile=False``, the PR 2 baseline
+  semantics) vs. the compiled-closure interpreter, same build, same seed,
+  coverage on;
+* ``speedup`` — ``dispatch_s / compiled_s`` (the PR acceptance floor is 2x);
+* ``ensemble`` — members/sec of a small cached-off ensemble generation.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_ensemble.py [output.json] [--strict]
+
+``--strict`` exits 1 when the speedup is below the 2x acceptance floor —
+meant for local acceptance checks on a quiet machine.  CI runs without it
+(shared runners are too noisy for a hard wall-clock gate) and tracks the
+number through the uploaded artifact instead.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.ensemble import EnsembleSpec, generate_ensemble
+from repro.model.builder import ModelConfig, build_model_source
+from repro.runtime.interpreter import Interpreter
+
+REPEATS = 5
+NSTEPS = 1
+
+
+def time_single_run(asts, compile_flag: bool) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        interp = Interpreter(asts, seed=1, compile=compile_flag)
+        interp.call("cam_comp", "cam_init", [0.0, 1])
+        for _ in range(NSTEPS):
+            interp.call("cam_comp", "cam_run_step", [])
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if a != "--strict"]
+    strict = "--strict" in sys.argv[1:]
+    out_path = Path(args[0]) if args else Path("BENCH_ensemble.json")
+
+    source = build_model_source(ModelConfig())
+    asts = source.parse()
+    # warm both paths once so neither pays first-parse costs
+    time_single_run(asts, True)
+
+    dispatch_s = time_single_run(asts, False)
+    compiled_s = time_single_run(asts, True)
+    speedup = dispatch_s / compiled_s
+
+    spec = EnsembleSpec(n_members=8, nsteps=NSTEPS)
+    start = time.perf_counter()
+    ensemble = generate_ensemble(spec, source=source)
+    ensemble_s = time.perf_counter() - start
+
+    payload = {
+        "benchmark": "repro-ensemble-interpreter",
+        "nsteps": NSTEPS,
+        "repeats": REPEATS,
+        "dispatch_s": round(dispatch_s, 4),
+        "compiled_s": round(compiled_s, 4),
+        "speedup": round(speedup, 2),
+        "ensemble_members": ensemble.n_members,
+        "ensemble_total_s": round(ensemble_s, 3),
+        "ensemble_members_per_s": round(ensemble.n_members / ensemble_s, 2),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if speedup < 2.0:
+        print(
+            f"WARNING: compiled-path speedup {speedup:.2f}x is below the "
+            "2x acceptance floor",
+            file=sys.stderr,
+        )
+        if strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

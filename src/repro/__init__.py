@@ -52,8 +52,14 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     "MetaGraph": ("repro.graphs", "MetaGraph"),
     "build_metagraph": ("repro.graphs", "build_metagraph"),
     # ensemble / ECT / selection
+    "Ensemble": ("repro.ensemble", "Ensemble"),
     "EnsembleGenerator": ("repro.ensemble", "EnsembleGenerator"),
+    "EnsembleSpec": ("repro.ensemble", "EnsembleSpec"),
+    "generate_ensemble": ("repro.ensemble", "generate_ensemble"),
+    "EctConfig": ("repro.ect", "EctConfig"),
+    "EctResult": ("repro.ect", "EctResult"),
     "UltraFastECT": ("repro.ect", "UltraFastECT"),
+    "ect_test": ("repro.ect", "ect_test"),
     "select_affected_variables": ("repro.selection", "select_affected_variables"),
     # slicing / analysis / refinement
     "backward_slice": ("repro.slicing", "backward_slice"),

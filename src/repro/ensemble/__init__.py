@@ -1,0 +1,46 @@
+"""repro.ensemble — accepted-ensemble and experimental-run generation.
+
+This is the statistical front half of the paper's consistency pipeline: a
+set of N model runs that differ only in accepted ways (tiny
+initial-temperature perturbations and independent PRNG seeds) defines the
+distribution a change must stay inside to count as "the same climate".
+:class:`EnsembleSpec` derives the N member configs deterministically from
+one base seed, :func:`generate_ensemble` fans them out over a thread pool
+sharing one parsed :class:`~repro.model.builder.ModelSource` (with an
+optional content-addressed disk cache making re-runs incremental), and the
+resulting :class:`Ensemble` holds the member matrix plus merged coverage
+for the ECT / slicing stages.
+
+Quickstart — does the ``cldfrc-premib`` bug patch change the climate?
+
+>>> from repro.ensemble import EnsembleSpec, generate_ensemble
+>>> from repro.ect import ect_test
+>>> from repro.model import ModelConfig
+>>> from repro.runtime import RunConfig, run_model
+>>> ens = generate_ensemble(n=30)                     # accepted ensemble
+>>> spec = ens.spec
+>>> patched = ModelConfig(patches=("cldfrc-premib",))
+>>> runs = [run_model(spec.experimental_config(i, model=patched))
+...         for i in range(3)]
+>>> ect_test(ens, runs).consistent                    # bug is flagged
+False
+>>> control = [run_model(spec.experimental_config(i)) for i in range(3)]
+>>> ect_test(ens, control).consistent                 # held-out seeds pass
+True
+"""
+
+from __future__ import annotations
+
+from .cache import MemberCache, member_cache_key
+from .generate import Ensemble, EnsembleGenerator, generate_ensemble, run_vector
+from .spec import EnsembleSpec
+
+__all__ = [
+    "Ensemble",
+    "EnsembleGenerator",
+    "EnsembleSpec",
+    "MemberCache",
+    "generate_ensemble",
+    "member_cache_key",
+    "run_vector",
+]

@@ -1,0 +1,155 @@
+"""Content-addressed on-disk cache of ensemble member runs.
+
+A member's cache key is a SHA-256 over everything that determines its
+numbers: the *patched* compiled source text (so a new bug patch or any
+model-source edit invalidates automatically), every runtime knob of its
+:class:`~repro.runtime.RunConfig`, and a format version.  Values are
+``.npz`` files holding the output snapshots, the coverage counts and the
+run counters — enough to rebuild a :class:`~repro.runtime.RunResult`
+without re-interpreting ~36k statements, which is what makes
+``generate_ensemble`` incremental across processes and PRs.
+
+Writes go through a temp file + ``os.replace`` so a crashed run never
+leaves a truncated entry behind, and concurrent generators racing on the
+same key simply both win.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..model.builder import ModelSource
+from ..runtime import CoverageTrace, RunConfig, RunResult
+
+__all__ = ["MemberCache", "member_cache_key"]
+
+#: bump when the serialized layout or run semantics change incompatibly
+CACHE_FORMAT = 1
+
+
+def _fp_token(config: RunConfig) -> dict:
+    fp = config.fp
+    return {
+        "fma": bool(fp.fma),
+        # frozenset() (FMA nowhere) and None (FMA everywhere) are different
+        # builds and must hash differently
+        "fma_modules": (
+            sorted(fp.fma_modules) if fp.fma_modules is not None else None
+        ),
+        "flush_to_zero": bool(fp.flush_to_zero),
+    }
+
+
+def member_cache_key(source: ModelSource, config: RunConfig) -> str:
+    """The content hash identifying one run of one built source tree."""
+    h = hashlib.sha256()
+    h.update(b"repro-ensemble-member\x00")
+    h.update(str(CACHE_FORMAT).encode())
+    for name in source.compiled_files:
+        h.update(name.encode())
+        h.update(b"\x00")
+        h.update(source.files[name].encode())
+        h.update(b"\x01")
+    token = {
+        "nsteps": config.nsteps,
+        "pertlim": float(config.pertlim).hex(),
+        "seed": config.seed,
+        "fp": _fp_token(config),
+        "collect_coverage": bool(config.collect_coverage),
+        "max_statements": config.max_statements,
+    }
+    h.update(json.dumps(token, sort_keys=True).encode())
+    return h.hexdigest()
+
+
+class MemberCache:
+    """Load/store :class:`RunResult` values under content-addressed keys."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    def load(self, key: str, config: RunConfig) -> Optional[RunResult]:
+        """The cached result for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                outputs = {}
+                first_outputs = {}
+                for full in data.files:
+                    if full.startswith("out::"):
+                        outputs[full[5:]] = data[full]
+                    elif full.startswith("first::"):
+                        first_outputs[full[7:]] = data[full]
+                counts: dict[tuple[str, int], int] = {}
+                if "cov_files" in data.files:
+                    cov_files = data["cov_files"]
+                    cov_lines = data["cov_lines"]
+                    cov_counts = data["cov_counts"]
+                    for fname, line, count in zip(
+                        cov_files, cov_lines, cov_counts
+                    ):
+                        counts[(str(fname), int(line))] = int(count)
+                meta = data["meta"]
+                statements, draws = int(meta[0]), int(meta[1])
+        except (OSError, KeyError, ValueError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunResult(
+            config=config,
+            outputs=outputs,
+            coverage=CoverageTrace(counts),
+            statements_executed=statements,
+            prng_draws=draws,
+            first_outputs=first_outputs,
+        )
+
+    def store(self, key: str, result: RunResult) -> None:
+        """Persist ``result`` under ``key`` (atomic via temp + replace)."""
+        payload: dict[str, np.ndarray] = {
+            "meta": np.array(
+                [result.statements_executed, result.prng_draws], dtype=np.int64
+            )
+        }
+        for name, value in result.outputs.items():
+            payload[f"out::{name}"] = np.asarray(value)
+        for name, value in result.first_outputs.items():
+            payload[f"first::{name}"] = np.asarray(value)
+        if result.coverage.counts:
+            items = sorted(result.coverage.counts.items())
+            payload["cov_files"] = np.array([k[0] for k, _ in items])
+            payload["cov_lines"] = np.array(
+                [k[1] for k, _ in items], dtype=np.int64
+            )
+            payload["cov_counts"] = np.array(
+                [count for _, count in items], dtype=np.int64
+            )
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,249 @@
+"""Accepted-ensemble generation over the live interpreter.
+
+``generate_ensemble`` expands an :class:`~repro.ensemble.spec.EnsembleSpec`
+into N member runs, fanning the members out over a
+:class:`concurrent.futures.ThreadPoolExecutor` that shares one parsed
+:class:`~repro.model.builder.ModelSource` (every member interprets the same
+cached ASTs the metagraph uses).  Members already present in the optional
+content-addressed disk cache are loaded instead of re-run, so repeated
+invocations are incremental.  The collected :class:`Ensemble` is the
+statistical object the ECT layer consumes: a ``(n_members, n_variables)``
+matrix of global-mean output values over *two* snapshots per variable — the
+end-of-run state and the end-of-first-step state (``<NAME>@first``), whose
+across-member bit-invariants make ULP-level effects like FMA contraction
+testable — plus the members' merged :class:`CoverageTrace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..model.builder import ModelSource, build_model_source
+from ..runtime import CoverageTrace, RunConfig, RunResult, run_model
+from .cache import MemberCache, member_cache_key
+from .spec import EnsembleSpec
+
+__all__ = ["Ensemble", "EnsembleGenerator", "generate_ensemble"]
+
+#: suffix marking the end-of-first-step snapshot half of the vector
+FIRST_SUFFIX = "@first"
+
+
+def run_vector(result: RunResult, names: Sequence[str]) -> np.ndarray:
+    """One run's ensemble-space vector for the given variable names."""
+    final_names = [n for n in names if not n.endswith(FIRST_SUFFIX)]
+    first_names = [n[: -len(FIRST_SUFFIX)] for n in names if n.endswith(FIRST_SUFFIX)]
+    out = np.empty(len(names), dtype=float)
+    final = dict(
+        zip(final_names, result.output_array(final_names, which="final"))
+    )
+    first = dict(
+        zip(first_names, result.output_array(first_names, which="first"))
+    )
+    for i, name in enumerate(names):
+        if name.endswith(FIRST_SUFFIX):
+            out[i] = first[name[: -len(FIRST_SUFFIX)]]
+        else:
+            out[i] = final[name]
+    return out
+
+
+def _variable_names(result: RunResult) -> list[str]:
+    names = list(result.outputs)
+    return names + [f"{n}{FIRST_SUFFIX}" for n in names]
+
+
+@dataclass
+class Ensemble:
+    """The accepted ensemble: member results plus their stacked matrix.
+
+    ``matrix[i]`` is member ``i``'s vector over ``variable_names`` (end-state
+    global means first, then the ``@first`` snapshot).  ``coverage`` is the
+    merge of every member's trace; per-member traces stay available on
+    ``members[i].coverage``.
+    """
+
+    spec: EnsembleSpec
+    variable_names: list[str]
+    matrix: np.ndarray
+    members: list[RunResult]
+    coverage: CoverageTrace
+    cache_hits: int = 0
+    cache_misses: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    def mean(self) -> np.ndarray:
+        return self.matrix.mean(axis=0)
+
+    def std(self, ddof: int = 1) -> np.ndarray:
+        return self.matrix.std(axis=0, ddof=ddof)
+
+    def run_vector(self, result: RunResult) -> np.ndarray:
+        """An experimental run's vector aligned with ``variable_names``."""
+        return run_vector(result, self.variable_names)
+
+    def summary(self) -> str:
+        sd = self.std()
+        return (
+            f"Ensemble(n={self.n_members}, variables={len(self.variable_names)}, "
+            f"invariant={int(np.sum(sd == 0.0))}, "
+            f"cache_hits={self.cache_hits}, cache_misses={self.cache_misses})"
+        )
+
+
+def generate_ensemble(
+    spec: Optional[EnsembleSpec] = None,
+    *,
+    n: Optional[int] = None,
+    source: Optional[ModelSource] = None,
+    cache_dir: Optional[str | os.PathLike] = None,
+    max_workers: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> Ensemble:
+    """Run (or load) every member of ``spec`` and stack the result matrix.
+
+    Parameters
+    ----------
+    spec:
+        The ensemble specification; defaults to ``EnsembleSpec()`` — the
+        unpatched FC5 control build.
+    n:
+        Convenience override of ``spec.n_members``
+        (``generate_ensemble(n=30)``).
+    source:
+        An already-built :class:`ModelSource` matching ``spec.model``; built
+        once here when omitted and shared (with its parse cache) by every
+        member thread.
+    cache_dir:
+        Directory of the content-addressed member cache.  Omit to disable
+        caching.
+    max_workers:
+        Thread-pool width for the member fan-out (default
+        ``min(4, n_members)``).
+    progress:
+        Optional ``callback(done, total)`` invoked as members complete.
+    """
+    spec = spec or EnsembleSpec()
+    if n is not None:
+        spec = dataclasses.replace(spec, n_members=n)
+    if source is None:
+        source = build_model_source(spec.model)
+    elif source.config != spec.model:
+        raise ValueError(
+            "the provided ModelSource was built from a different ModelConfig "
+            "than spec.model"
+        )
+    source.parse()  # warm the shared AST cache once, outside the pool
+
+    cache = MemberCache(cache_dir) if cache_dir is not None else None
+    configs = spec.member_configs()
+    results: list[Optional[RunResult]] = [None] * len(configs)
+    done = 0
+
+    def run_member(index: int, config: RunConfig) -> tuple[int, RunResult]:
+        if cache is not None:
+            key = member_cache_key(source, config)
+            cached = cache.load(key, config)
+            if cached is not None:
+                return index, cached
+        result = run_model(config, source=source)
+        if cache is not None:
+            cache.store(key, result)
+        return index, result
+
+    workers = max_workers if max_workers is not None else min(4, len(configs))
+    with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+        for index, result in pool.map(
+            run_member, range(len(configs)), configs
+        ):
+            results[index] = result
+            done += 1
+            if progress is not None:
+                progress(done, len(configs))
+
+    members: list[RunResult] = [r for r in results if r is not None]
+    if len(members) != len(configs):  # pragma: no cover - defensive
+        raise RuntimeError("ensemble generation lost members")
+
+    names = _variable_names(members[0])
+    matrix = np.stack([run_vector(r, names) for r in members])
+    coverage = CoverageTrace().merged(*(r.coverage for r in members))
+    sd = matrix.std(axis=0, ddof=1)
+    stats = {
+        "statements_per_member": [r.statements_executed for r in members],
+        "invariant_variables": [
+            names[j] for j in range(len(names)) if sd[j] == 0.0
+        ],
+    }
+    return Ensemble(
+        spec=spec,
+        variable_names=names,
+        matrix=matrix,
+        members=members,
+        coverage=coverage,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+        stats=stats,
+    )
+
+
+class EnsembleGenerator:
+    """OO facade over :func:`generate_ensemble` for repeated generation.
+
+    Holds the shared :class:`ModelSource` and cache directory so successive
+    calls (e.g. an accepted ensemble plus batches of experimental runs in
+    the same process) reuse the parse cache and the disk cache.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[EnsembleSpec] = None,
+        cache_dir: Optional[str | os.PathLike] = None,
+        max_workers: Optional[int] = None,
+    ):
+        self.spec = spec or EnsembleSpec()
+        self.cache_dir = cache_dir
+        self.max_workers = max_workers
+        self._source = build_model_source(self.spec.model)
+
+    @property
+    def source(self) -> ModelSource:
+        return self._source
+
+    def generate(self, n: Optional[int] = None) -> Ensemble:
+        """Generate (or incrementally load) the accepted ensemble."""
+        return generate_ensemble(
+            self.spec,
+            n=n,
+            source=self._source,
+            cache_dir=self.cache_dir,
+            max_workers=self.max_workers,
+        )
+
+    def experimental_runs(
+        self,
+        count: int = 3,
+        model=None,
+        fp=None,
+    ) -> list[RunResult]:
+        """``count`` experimental runs with held-out seeds (see spec)."""
+        runs = []
+        for i in range(count):
+            config = self.spec.experimental_config(i, model=model, fp=fp)
+            exp_source = (
+                self._source
+                if config.model == self.spec.model
+                else build_model_source(config.model)
+            )
+            runs.append(run_model(config, source=exp_source))
+        return runs

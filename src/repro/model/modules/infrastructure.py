@@ -242,11 +242,22 @@ contains
     seed_state = seed
   end subroutine shr_random_setseed
 
+  subroutine shr_random_raw(harvest, n)
+    ! raw generator core: replaced by the runtime's stream-per-module PRNG
+    integer, intent(in) :: n
+    real(r8), intent(out) :: harvest(n)
+    harvest = 0.5_r8
+  end subroutine shr_random_raw
+
   subroutine shr_random_uniform(harvest, n)
     integer, intent(in) :: n
     real(r8), intent(out) :: harvest(n)
+    integer :: i
     random_call_count = random_call_count + 1
-    harvest = 0.5_r8
+    call shr_random_raw(harvest, n)
+    do i = 1, n
+      harvest(i) = min(harvest(i), 0.99999999999999989_r8)
+    end do
   end subroutine shr_random_uniform
 end module shr_random_mod
 """
@@ -278,13 +289,14 @@ module physics_buffer
   use ppgrid,       only: pcols, pver, pverp
   implicit none
   private
-  public :: pbuf_init, pbuf_cld, pbuf_concld, pbuf_tke, pbuf_qcwat, pbuf_tcwat, pbuf_relhum
+  public :: pbuf_init, pbuf_cld, pbuf_concld, pbuf_tke, pbuf_qcwat, pbuf_tcwat, pbuf_relhum, pbuf_rhpert
   real(r8), public :: pbuf_cld(pcols, pver)
   real(r8), public :: pbuf_concld(pcols, pver)
   real(r8), public :: pbuf_tke(pcols, pverp)
   real(r8), public :: pbuf_qcwat(pcols, pver)
   real(r8), public :: pbuf_tcwat(pcols, pver)
   real(r8), public :: pbuf_relhum(pcols, pver)
+  real(r8), public :: pbuf_rhpert(pcols, pver)
 contains
   subroutine pbuf_init()
     pbuf_cld = 0.0_r8
@@ -293,6 +305,7 @@ contains
     pbuf_qcwat = 0.0_r8
     pbuf_tcwat = 0.0_r8
     pbuf_relhum = 0.0_r8
+    pbuf_rhpert = 0.0_r8
   end subroutine pbuf_init
 end module physics_buffer
 """

@@ -82,7 +82,7 @@ module cloud_fraction
   use wv_saturation,  only: rh_calc
   use shr_random_mod, only: shr_random_uniform
   use physics_types,  only: physics_state
-  use physics_buffer, only: pbuf_cld, pbuf_concld, pbuf_relhum
+  use physics_buffer, only: pbuf_cld, pbuf_concld, pbuf_relhum, pbuf_rhpert
   use cam_history,    only: outfld
   implicit none
   private
@@ -110,14 +110,25 @@ contains
     real(r8) :: relhum(pcols, pver)
     real(r8) :: rhseed(pcols)
     real(r8) :: rhpert(pcols, pver)
+    real(r8) :: rhseedm(pcols)
     real(r8) :: rhlim, rhdif, cldrh, clrsky
 
     call rh_calc(state%t, state%pmid, state%q, relhum, ncol)
 
+    do i = 1, ncol
+      rhseedm(i) = 0.0_r8
+    end do
     do k = 1, pver
       call shr_random_uniform(rhseed, ncol)
       do i = 1, ncol
         rhpert(i,k) = perturbation_scale * (rhseed(i) - 0.5_r8)
+      end do
+      ! the macrophysics consumes the same stochastic RH enhancement via the
+      ! physics buffer; recomputed from the raw draws so both consumers see
+      ! one intended perturbation field
+      do i = 1, ncol
+        pbuf_rhpert(i,k) = (rhseed(i) - 0.5_r8) * perturbation_scale
+        rhseedm(i) = rhseedm(i) + rhseed(i)
       end do
     end do
 
@@ -169,10 +180,17 @@ contains
       end do
     end do
 
+    ! diagnosed mean RH perturbation, recomputed from the raw draws so the
+    ! history record is independent of how rhpert itself was applied
+    do i = 1, ncol
+      rhseedm(i) = perturbation_scale * (rhseedm(i) / pver - 0.5_r8)
+    end do
+
     call outfld('CLDTOT', cltot)
     call outfld('CLDLOW', cllow)
     call outfld('CLDMED', clmed)
     call outfld('CLDHGH', clhgh)
+    call outfld('RHPERT', rhseedm)
   end subroutine cldfrc
 end module cloud_fraction
 """
@@ -184,6 +202,7 @@ module macrop_driver
   use physconst,     only: latvap, cpair, tmelt
   use wv_saturation, only: qsat_water
   use physics_types, only: physics_state, physics_ptend
+  use physics_buffer, only: pbuf_rhpert
   implicit none
   private
   public :: macrop_driver_tend
@@ -201,7 +220,7 @@ contains
     do k = 1, pver
       do i = 1, ncol
         qsat_local = qsat_water(state%t(i,k), state%pmid(i,k))
-        qexcess = state%q(i,k) - qsat_local * (1.0_r8 - 0.3_r8 * cld(i,k))
+        qexcess = state%q(i,k) - qsat_local * (1.0_r8 - 0.3_r8 * cld(i,k) - pbuf_rhpert(i,k))
         cond_rate = max(0.0_r8, qexcess) / cond_timescale
         cond_rate = min(cond_rate, state%q(i,k) / dt)
         freeze_frac = min(1.0_r8, max(0.0_r8, (tmelt - state%t(i,k)) / 30.0_r8))

@@ -123,10 +123,13 @@ _register(
 _register(
     SourcePatch(
         name="rand-mt",
-        filename="cloud_fraction.F90",
-        description="reversed sign of the PRNG relative-humidity perturbation",
-        old="rhpert(i,k) = perturbation_scale * (rhseed(i) - 0.5_r8)",
-        new="rhpert(i,k) = perturbation_scale * (0.5_r8 - rhseed(i))",
+        filename="shr_random_mod.F90",
+        description=(
+            "swapped-in legacy Mersenne-Twister port scales the raw state "
+            "by the wrong power of two, biasing every variate low"
+        ),
+        old="harvest(i) = min(harvest(i), 0.99999999999999989_r8)",
+        new="harvest(i) = 0.5_r8 * harvest(i)",
     )
 )
 

@@ -152,6 +152,7 @@ OUTPUT_FIELDS: tuple[OutputField, ...] = (
     OutputField("CLDLOW", "cloud_fraction.F90", 1),
     OutputField("CLDMED", "cloud_fraction.F90", 1),
     OutputField("CLDHGH", "cloud_fraction.F90", 1),
+    OutputField("RHPERT", "cloud_fraction.F90", 1),
     # aerosol / sub-grid velocity
     OutputField("WSUB", "microp_aero.F90", 1),
     OutputField("CCN3", "microp_aero.F90", 2),

@@ -92,7 +92,11 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RunConfig:
-    """One model run: build configuration plus runtime knobs (see above)."""
+    """One model run: build configuration plus runtime knobs (see above).
+
+    Invalid knobs raise :class:`ValueError` at construction time, so a bad
+    ensemble spec fails before any member burns interpreter time.
+    """
 
     model: ModelConfig = field(default_factory=ModelConfig)
     nsteps: int = 2
@@ -102,16 +106,58 @@ class RunConfig:
     collect_coverage: bool = True
     max_statements: int = 50_000_000
 
+    def __post_init__(self) -> None:
+        if isinstance(self.nsteps, bool) or not isinstance(self.nsteps, int):
+            raise ValueError(
+                f"nsteps must be an int, got {type(self.nsteps).__name__}"
+            )
+        if self.nsteps < 1:
+            raise ValueError(f"nsteps must be >= 1, got {self.nsteps}")
+        if isinstance(self.pertlim, bool) or not isinstance(
+            self.pertlim, (int, float)
+        ):
+            raise ValueError(
+                f"pertlim must be a real number, got "
+                f"{type(self.pertlim).__name__}"
+            )
+        if not np.isfinite(self.pertlim):
+            raise ValueError(f"pertlim must be finite, got {self.pertlim!r}")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ValueError(
+                f"seed must be an int, got {type(self.seed).__name__}"
+            )
+        if isinstance(self.max_statements, bool) or not isinstance(
+            self.max_statements, int
+        ):
+            raise ValueError(
+                f"max_statements must be an int, got "
+                f"{type(self.max_statements).__name__}"
+            )
+        if self.max_statements < 1:
+            raise ValueError(
+                f"max_statements must be >= 1, got {self.max_statements}"
+            )
+
 
 @dataclass
 class RunResult:
-    """Everything one run produces for the downstream pipeline stages."""
+    """Everything one run produces for the downstream pipeline stages.
+
+    ``outputs`` holds the end-of-run write of every history field;
+    ``first_outputs`` holds the first write (the end of step one).  The
+    first-step snapshot is the consistency-testing layer's high-sensitivity
+    view: fields the stochastic physics has not yet touched stay
+    bit-identical across ensemble members, so ULP-level effects such as FMA
+    contraction remain visible there long after chaotic growth has folded
+    them into the end-state spread.
+    """
 
     config: RunConfig
     outputs: dict[str, np.ndarray]
     coverage: CoverageTrace
     statements_executed: int
     prng_draws: int
+    first_outputs: dict[str, np.ndarray] = field(default_factory=dict)
 
     def output_vector(self) -> dict[str, float]:
         """The named output-variable vector: global mean of every field,
@@ -119,6 +165,44 @@ class RunResult:
         return {
             name: float(np.mean(value)) for name, value in self.outputs.items()
         }
+
+    def output_array(
+        self,
+        names: Optional[list[str]] = None,
+        which: str = "final",
+    ) -> np.ndarray:
+        """An ordered numpy vector of global means, aligned with
+        ``OUTPUT_FIELDS`` declaration order (then extra fields, sorted).
+
+        Parameters
+        ----------
+        names:
+            Explicit field order; defaults to ``list(self.outputs)``, whose
+            order run_model fixes to the registry declaration order.  Pass
+            the same list for every run of an ensemble so rows line up.
+        which:
+            ``"final"`` for the end-of-run snapshot, ``"first"`` for the
+            end-of-first-step snapshot.
+        """
+        if which == "final":
+            source = self.outputs
+        elif which == "first":
+            source = self.first_outputs
+        else:
+            raise ValueError(
+                f"which must be 'final' or 'first', got {which!r}"
+            )
+        if names is None:
+            names = list(source)
+        try:
+            return np.array(
+                [float(np.mean(source[name])) for name in names], dtype=float
+            )
+        except KeyError as exc:
+            raise KeyError(
+                f"output field {exc.args[0]!r} was not produced by this run "
+                f"(known: {', '.join(source)})"
+            ) from None
 
     def is_finite(self) -> bool:
         """True when every output field is finite everywhere."""
@@ -177,11 +261,14 @@ def run_model(
             + ", ".join(missing)
         )
     outputs: dict[str, np.ndarray] = {}
+    first_outputs: dict[str, np.ndarray] = {}
     for name in declared:
         outputs[name] = np.asarray(interp.history.fields[name])
     # fields written but not declared ride along at the end, sorted
     for name in sorted(set(interp.history.fields) - set(declared)):
         outputs[name] = np.asarray(interp.history.fields[name])
+    for name in outputs:
+        first_outputs[name] = np.asarray(interp.history.first[name])
 
     coverage = interp.coverage if interp.coverage is not None else CoverageTrace()
     return RunResult(
@@ -190,4 +277,5 @@ def run_model(
         coverage=coverage,
         statements_executed=interp.statements_executed,
         prng_draws=interp.prng.total_draws(),
+        first_outputs=first_outputs,
     )

@@ -71,6 +71,7 @@ from ..fortran.ast_nodes import (
 )
 from ..fortran.intrinsics import SUBROUTINE_INTRINSICS
 from ..fortran.parser import parse_source
+from .compiler import NodeCompiler
 from .coverage import CoverageTrace
 from .fpu import FPU, FPConfig
 from .intrinsics import INTRINSIC_FUNCTIONS
@@ -84,7 +85,12 @@ from .values import (
     Ref,
     Scope,
     ScopeRef,
+    StatementLimitExceeded,
+    StopModel,
     UndefinedNameError,
+    _Cycle,
+    _Exit,
+    _Return,
     fortran_slices,
 )
 
@@ -94,30 +100,6 @@ __all__ = [
     "StatementLimitExceeded",
     "StopModel",
 ]
-
-
-class StopModel(FortranRuntimeError):
-    """The model executed a ``stop`` statement (e.g. via ``endrun``)."""
-
-    def __init__(self, message: Optional[str] = None):
-        self.message = message
-        super().__init__(message or "stop")
-
-
-class StatementLimitExceeded(FortranRuntimeError):
-    """The configured ``max_statements`` budget was exhausted."""
-
-
-class _Return(Exception):
-    """Internal control flow: ``return``."""
-
-
-class _Exit(Exception):
-    """Internal control flow: ``exit`` (leave innermost do loop)."""
-
-
-class _Cycle(Exception):
-    """Internal control flow: ``cycle`` (next do iteration)."""
 
 
 @dataclass
@@ -134,18 +116,20 @@ class ModuleRuntime:
 class Frame:
     """One execution frame: a subprogram activation or a module context."""
 
-    __slots__ = ("module", "sub", "scope", "optional_missing")
+    __slots__ = ("module", "sub", "scope", "optional_missing", "caller")
 
     def __init__(
         self,
         module: ModuleRuntime,
         sub: Optional[Subprogram],
         scope: Scope,
+        caller: Optional["Frame"] = None,
     ):
         self.module = module
         self.sub = sub
         self.scope = scope
         self.optional_missing: set[str] = set()
+        self.caller = caller
 
 
 @dataclass
@@ -165,15 +149,27 @@ class _EntityInfo:
 
 
 class History:
-    """Named output fields captured from ``outfld``/``outfld2d`` calls."""
+    """Named output fields captured from ``outfld``/``outfld2d`` calls.
+
+    ``fields`` holds the *latest* write of every field (the end-of-run
+    state); ``first`` holds the *first* write (the end of the first model
+    step, since the model writes every field exactly once per step).  The
+    first-write snapshot is the consistency-testing layer's "ultra-fast"
+    view: after one step many fields are still untouched by the random
+    physics, so ULP-level effects (FMA contraction) remain bit-visible
+    there long after chaos has swamped them in the final state.
+    """
 
     def __init__(self) -> None:
         self.fields: dict[str, object] = {}
+        self.first: dict[str, object] = {}
         self.ncalls: dict[str, int] = {}
 
     def record(self, name: str, value) -> None:
         if isinstance(value, np.ndarray):
             value = value.copy()
+        if name not in self.first:
+            self.first[name] = value
         self.fields[name] = value
         self.ncalls[name] = self.ncalls.get(name, 0) + 1
 
@@ -205,6 +201,7 @@ class Interpreter:
         seed: int = 12345,
         collect_coverage: bool = True,
         max_statements: int = 50_000_000,
+        compile: bool = True,
     ):
         self.fpu = FPU(fp)
         self.fp = self.fpu.config
@@ -231,7 +228,7 @@ class Interpreter:
         self._intercepts = {
             ("cam_history", "outfld"): self._intercept_outfld,
             ("cam_history", "outfld2d"): self._intercept_outfld,
-            ("shr_random_mod", "shr_random_uniform"): self._intercept_random_uniform,
+            ("shr_random_mod", "shr_random_raw"): self._intercept_random_raw,
             ("shr_random_mod", "shr_random_setseed"): self._intercept_setseed,
         }
 
@@ -261,6 +258,12 @@ class Interpreter:
             ContinueStmt: self._exec_continue,
             UnparsedStmt: self._exec_unparsed,
         }
+
+        #: per-AST-node memoized evaluators (None => pure dispatch walking,
+        #: the reference semantics the compiled path must match bit-for-bit)
+        self._compiler: Optional[NodeCompiler] = (
+            NodeCompiler(self) if compile else None
+        )
 
     # ------------------------------------------------------------------ API
     @classmethod
@@ -347,6 +350,16 @@ class Interpreter:
             return scope, name
         mrt = frame.module
         if scope is not mrt.scope and name in mrt.scope:
+            return mrt.scope, name
+        return self._resolve_use_var(mrt, name, frozenset())
+
+    def _lookup_nonlocal(
+        self, frame: Frame, name: str
+    ) -> Optional[tuple[Scope, str]]:
+        """:meth:`_lookup_var` minus the frame-local check (the compiled
+        closures test frame locals inline before falling back here)."""
+        mrt = frame.module
+        if frame.scope is not mrt.scope and name in mrt.scope:
             return mrt.scope, name
         return self._resolve_use_var(mrt, name, frozenset())
 
@@ -511,7 +524,13 @@ class Interpreter:
         return info
 
     # ------------------------------------------------------------- calling
-    def _call_with_values(self, mrt: ModuleRuntime, sub: Subprogram, values: list):
+    def _call_with_values(
+        self,
+        mrt: ModuleRuntime,
+        sub: Subprogram,
+        values: list,
+        caller: Optional[Frame] = None,
+    ):
         """Call ``sub`` binding pre-evaluated values to its dummies."""
         if len(values) != len(sub.args):
             raise FortranRuntimeError(
@@ -519,7 +538,7 @@ class Interpreter:
                 f"got {len(values)}"
             )
         info = self._sub_info(sub)
-        frame = Frame(mrt, sub, Scope(f"{mrt.node.name}:{sub.name}"))
+        frame = Frame(mrt, sub, Scope(f"{mrt.node.name}:{sub.name}"), caller)
         for dummy, value in zip(sub.args, values):
             d = info.get(dummy)
             readonly = d is not None and d.intent == "in"
@@ -563,9 +582,9 @@ class Interpreter:
             values = [self.eval(pairs[dummy], caller_frame) for dummy in sub.args]
             if any(isinstance(v, np.ndarray) for v in values):
                 return self._call_elemental(mrt, sub, values)
-            return self._call_with_values(mrt, sub, values)
+            return self._call_with_values(mrt, sub, values, caller_frame)
 
-        frame = Frame(mrt, sub, Scope(f"{mrt.node.name}:{sub.name}"))
+        frame = Frame(mrt, sub, Scope(f"{mrt.node.name}:{sub.name}"), caller_frame)
         writebacks: list[tuple[Ref, str]] = []
         for dummy in sub.args:
             d = info.get(dummy)
@@ -725,25 +744,33 @@ class Interpreter:
         self.history.record(str(name), value)
         self._call_with_values(mrt, sub, [name, value])
 
-    def _intercept_random_uniform(self, frame, arg_exprs, kw_exprs, mrt, sub):
-        """Fill the harvest array from the calling module's stream."""
+    def _intercept_random_raw(self, frame, arg_exprs, kw_exprs, mrt, sub):
+        """Fill the harvest array from the *requesting* module's stream.
+
+        ``shr_random_raw`` is the generator core behind the model's own
+        ``shr_random_uniform`` wrapper (whose variate transform is real,
+        patchable Fortran).  The stream is attributed to the nearest frame
+        outside ``shr_random_mod`` so every component keeps its own
+        independent, seed-derived sequence regardless of wrapper depth.
+        """
         kind, payload, writable = self._bind_actual(arg_exprs[0], frame)
         if kind != "share" or not isinstance(payload, np.ndarray):
             raise FortranRuntimeError(
-                "shr_random_uniform requires a whole-array harvest argument"
+                "shr_random_raw requires a whole-array harvest argument"
             )
         if not writable:
             raise IntentViolationError(
-                "shr_random_uniform harvest argument is read-only here"
+                "shr_random_raw harvest argument is read-only here"
             )
         n = None
         if len(arg_exprs) > 1:
             n = int(self.eval(arg_exprs[1], frame))
-        stream = self.prng.stream(frame.module.node.name)
+        owner = frame
+        while owner is not None and owner.module.node.name == mrt.node.name:
+            owner = owner.caller
+        owner_name = (owner or frame).module.node.name
+        stream = self.prng.stream(owner_name)
         stream.fill(payload, n)
-        if "random_call_count" in mrt.scope:  # the model's diagnostic counter
-            counter = mrt.scope.get("random_call_count")
-            mrt.scope.store("random_call_count", counter + 1)
 
     def _intercept_setseed(self, frame, arg_exprs, kw_exprs, mrt, sub):
         seed = int(self.eval(arg_exprs[0], frame))
@@ -787,6 +814,13 @@ class Interpreter:
 
     # ----------------------------------------------------------- execution
     def exec_body(self, body: list[Stmt], frame: Frame) -> None:
+        compiler = self._compiler
+        if compiler is not None:
+            cached = compiler.body_cache.get(id(body))
+            fns = cached[1] if cached is not None else compiler.body(body)
+            for fn in fns:
+                fn(frame)
+            return
         for stmt in body:
             self.exec_stmt(stmt, frame)
 
@@ -805,6 +839,12 @@ class Interpreter:
                 self._cov_counts[key] = self._cov_counts.get(key, 0) + 1
 
     def exec_stmt(self, stmt: Stmt, frame: Frame) -> None:
+        compiler = self._compiler
+        if compiler is not None:
+            cached = compiler.stmt_cache.get(id(stmt))
+            fn = cached[1] if cached is not None else compiler.stmt(stmt)
+            fn(frame)
+            return
         self._account(stmt)
         handler = self._exec_dispatch.get(type(stmt))
         if handler is None:
@@ -1044,6 +1084,11 @@ class Interpreter:
 
     # ----------------------------------------------------------- evaluation
     def eval(self, expr: Expr, frame: Frame):
+        compiler = self._compiler
+        if compiler is not None:
+            cached = compiler.expr_cache.get(id(expr))
+            fn = cached[1] if cached is not None else compiler.expr(expr)
+            return fn(frame)
         handler = self._eval_dispatch.get(type(expr))
         if handler is None:
             raise FortranRuntimeError(

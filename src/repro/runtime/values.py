@@ -36,6 +36,8 @@ __all__ = [
     "Scope",
     "ScopeRef",
     "ComponentRef",
+    "StatementLimitExceeded",
+    "StopModel",
     "UndefinedNameError",
     "fortran_index",
     "fortran_slices",
@@ -52,6 +54,30 @@ class IntentViolationError(FortranRuntimeError):
 
 class UndefinedNameError(FortranRuntimeError):
     """A reference to a name no scope, module, or use-association defines."""
+
+
+class StopModel(FortranRuntimeError):
+    """The model executed a ``stop`` statement (e.g. via ``endrun``)."""
+
+    def __init__(self, message: Optional[str] = None):
+        self.message = message
+        super().__init__(message or "stop")
+
+
+class StatementLimitExceeded(FortranRuntimeError):
+    """The configured ``max_statements`` budget was exhausted."""
+
+
+class _Return(Exception):
+    """Internal control flow: ``return``."""
+
+
+class _Exit(Exception):
+    """Internal control flow: ``exit`` (leave innermost do loop)."""
+
+
+class _Cycle(Exception):
+    """Internal control flow: ``cycle`` (next do iteration)."""
 
 
 class DerivedValue:

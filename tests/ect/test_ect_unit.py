@@ -1,0 +1,148 @@
+"""ECT unit semantics on small synthetic ensembles (no model runs)."""
+
+import numpy as np
+import pytest
+
+from repro.ect import EctConfig, EctResult, UltraFastECT, ect_test
+
+
+class FakeEnsemble:
+    def __init__(self, matrix, names=None):
+        self.matrix = np.asarray(matrix, dtype=float)
+        self.variable_names = names or [
+            f"V{j}" for j in range(self.matrix.shape[1])
+        ]
+
+
+def correlated_ensemble(n=24, seed=0):
+    """Members varying mostly along one direction, plus small noise."""
+    rng = np.random.default_rng(seed)
+    driver = rng.normal(size=(n, 1))
+    loadings = np.array([[1.0, 0.8, -0.6, 0.3]])
+    noise = 0.1 * rng.normal(size=(n, 4))
+    matrix = np.hstack([driver @ loadings + noise, np.full((n, 1), 7.5)])
+    return FakeEnsemble(matrix, ["A", "B", "C", "D", "CONST"])
+
+
+class TestFit:
+    def test_invariant_columns_are_split_out(self):
+        ect = UltraFastECT(correlated_ensemble())
+        assert ect.invariant_names == ["CONST"]
+        assert ect.invariant_values.tolist() == [7.5]
+
+    def test_truncation_keeps_leading_variance(self):
+        ect = UltraFastECT(
+            correlated_ensemble(), EctConfig(variance_fraction=0.8)
+        )
+        # one strong common factor -> one or two PCs dominate
+        assert 1 <= ect.n_pcs <= 2
+        assert ect.explained_variance_fraction >= 0.8
+
+    def test_max_pcs_cap(self):
+        ect = UltraFastECT(
+            correlated_ensemble(),
+            EctConfig(variance_fraction=1.0, max_pcs=2),
+        )
+        assert ect.n_pcs == 2
+
+    def test_member_scores_have_unit_std(self):
+        ens = correlated_ensemble()
+        ect = UltraFastECT(ens)
+        scores = np.array([ect.scores(row) for row in ens.matrix])
+        np.testing.assert_allclose(scores.std(axis=0, ddof=1), 1.0)
+
+    def test_too_few_members_rejected(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            UltraFastECT(FakeEnsemble(np.eye(2)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="variance_fraction"):
+            EctConfig(variance_fraction=0.0)
+        with pytest.raises(ValueError, match="sigma"):
+            EctConfig(sigma=-1.0)
+
+
+class TestVerdicts:
+    def test_members_themselves_are_consistent(self):
+        ens = correlated_ensemble()
+        ect = UltraFastECT(ens)
+        result = ect.test([ens.matrix[0], ens.matrix[1], ens.matrix[2]])
+        assert result.consistent
+        assert isinstance(result, EctResult)
+        assert bool(result) is True
+
+    def test_shifted_runs_fail_the_pc_rule(self):
+        ens = correlated_ensemble()
+        ect = UltraFastECT(ens, EctConfig(min_failing_pcs=1))
+        shifted = ens.matrix[:3] + np.array([8.0, 6.4, -4.8, 2.4, 0.0])
+        result = ect.test(list(shifted))
+        assert not result.consistent
+        assert result.failing_pcs
+        assert result.failing_variables
+
+    def test_invariant_violation_fails(self):
+        ens = correlated_ensemble()
+        ect = UltraFastECT(ens)
+        bad = ens.matrix[:3].copy()
+        bad[:, 4] += 1e-12  # ULP-scale nudge of the bit-exact invariant
+        result = ect.test(list(bad))
+        assert not result.consistent
+        assert result.invariant_violations == ["CONST"]
+        assert "CONST" in result.failing_variables
+
+    def test_single_violating_run_is_tolerated(self):
+        """One bad run of three is below min_invariant_runs."""
+        ens = correlated_ensemble()
+        ect = UltraFastECT(ens)
+        runs = ens.matrix[:3].copy()
+        runs[0, 4] += 1e-12
+        assert ect.test(list(runs)).consistent
+
+    def test_gross_outlier_channel(self):
+        """A deviation confined to one variable still fails the test."""
+        ens = correlated_ensemble()
+        ect = UltraFastECT(ens, EctConfig(min_failing_pcs=99))
+        runs = ens.matrix[:3].copy()
+        runs[:, 3] += 3.0  # ~10 ensemble sds on D only
+        result = ect.test(list(runs))
+        assert not result.consistent
+        assert "D" in result.outlier_variables
+        assert "D" in result.failing_variables
+
+    def test_failure_rule_counts_runs_per_pc(self):
+        ens = correlated_ensemble()
+        ect = UltraFastECT(ens, EctConfig(min_failing_pcs=1))
+        shift = np.array([8.0, 6.4, -4.8, 2.4, 0.0])
+        one_bad = [ens.matrix[0] + shift, ens.matrix[1], ens.matrix[2]]
+        assert ect.test(one_bad).consistent  # 1 of 3 < min_runs_per_pc
+        two_bad = [ens.matrix[0] + shift, ens.matrix[1] + shift, ens.matrix[2]]
+        assert not ect.test(two_bad).consistent
+
+    def test_single_run_test_uses_reduced_run_threshold(self):
+        ens = correlated_ensemble()
+        ect = UltraFastECT(ens, EctConfig(min_failing_pcs=1))
+        shifted = ens.matrix[0] + np.array([8.0, 6.4, -4.8, 2.4, 0.0])
+        assert not ect.test([shifted]).consistent
+
+    def test_empty_runs_rejected(self):
+        ect = UltraFastECT(correlated_ensemble())
+        with pytest.raises(ValueError, match="at least one"):
+            ect.test([])
+
+    def test_wrong_vector_shape_rejected(self):
+        ect = UltraFastECT(correlated_ensemble())
+        with pytest.raises(ValueError, match="shape"):
+            ect.test([np.zeros(3)])
+
+    def test_ect_test_convenience_matches_class(self):
+        ens = correlated_ensemble()
+        runs = [ens.matrix[0], ens.matrix[1], ens.matrix[2]]
+        a = ect_test(ens, runs)
+        b = UltraFastECT(ens).test(runs)
+        assert a.consistent == b.consistent
+        assert a.failing_pcs == b.failing_pcs
+
+    def test_summary_mentions_verdict(self):
+        ens = correlated_ensemble()
+        result = UltraFastECT(ens).test([ens.matrix[0]])
+        assert "consistent" in result.summary()

@@ -1,0 +1,88 @@
+"""EnsembleSpec: deterministic member derivation and validation."""
+
+import pytest
+
+from repro.ensemble import EnsembleSpec
+from repro.model import ModelConfig
+from repro.runtime import FPConfig
+
+
+class TestMemberDerivation:
+    def test_member_configs_are_deterministic(self):
+        a = EnsembleSpec(n_members=6).member_configs()
+        b = EnsembleSpec(n_members=6).member_configs()
+        assert a == b
+
+    def test_members_have_distinct_seeds_and_pertlims(self):
+        spec = EnsembleSpec(n_members=12)
+        configs = spec.member_configs()
+        assert len({c.seed for c in configs}) == 12
+        assert len({c.pertlim for c in configs}) == 12
+
+    def test_pertlim_draws_respect_magnitude(self):
+        spec = EnsembleSpec(n_members=20, pertlim=1e-13)
+        for config in spec.member_configs():
+            assert abs(config.pertlim) <= 1e-13
+
+    def test_growing_the_ensemble_keeps_existing_members(self):
+        small = EnsembleSpec(n_members=5).member_configs()
+        large = EnsembleSpec(n_members=9).member_configs()
+        assert large[:5] == small
+
+    def test_different_base_seeds_give_disjoint_members(self):
+        a = {c.seed for c in EnsembleSpec(base_seed=1).member_configs()}
+        b = {c.seed for c in EnsembleSpec(base_seed=2).member_configs()}
+        assert not a & b
+
+    def test_member_config_carries_spec_knobs(self):
+        model = ModelConfig(patches=("wsubbug",))
+        fp = FPConfig(fma=True)
+        spec = EnsembleSpec(
+            model=model, n_members=3, nsteps=1, fp=fp, collect_coverage=False
+        )
+        config = spec.member_config(0)
+        assert config.model == model
+        assert config.nsteps == 1
+        assert config.fp == fp
+        assert config.collect_coverage is False
+
+    def test_member_index_out_of_range(self):
+        spec = EnsembleSpec(n_members=3)
+        with pytest.raises(IndexError):
+            spec.member_config(3)
+        with pytest.raises(IndexError):
+            spec.member_config(-1)
+
+
+class TestExperimentalConfigs:
+    def test_experimental_seeds_disjoint_from_members(self):
+        spec = EnsembleSpec(n_members=30)
+        member_seeds = {c.seed for c in spec.member_configs()}
+        exp_seeds = {spec.experimental_config(i).seed for i in range(30)}
+        assert not member_seeds & exp_seeds
+
+    def test_experimental_config_overrides(self):
+        spec = EnsembleSpec()
+        patched = ModelConfig(patches=("goffgratch",))
+        config = spec.experimental_config(0, model=patched)
+        assert config.model == patched
+        assert config.fp == spec.fp
+        fma = spec.experimental_config(0, fp=FPConfig(fma=True))
+        assert fma.model == spec.model
+        assert fma.fp.fma
+
+
+class TestValidation:
+    def test_too_few_members_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            EnsembleSpec(n_members=1)
+
+    def test_non_int_members_rejected(self):
+        with pytest.raises(ValueError, match="n_members"):
+            EnsembleSpec(n_members=2.5)
+
+    def test_bad_runtime_knobs_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="nsteps"):
+            EnsembleSpec(nsteps=0)
+        with pytest.raises(ValueError, match="pertlim"):
+            EnsembleSpec(pertlim=float("nan"))

@@ -1,0 +1,99 @@
+"""RunConfig validation and RunResult.output_array (ensemble satellites)."""
+
+import numpy as np
+import pytest
+
+from repro.model.registry import OUTPUT_FIELD_NAMES
+from repro.runtime import RunConfig, run_model
+
+
+@pytest.fixture(scope="module")
+def two_step_run():
+    return run_model(RunConfig(nsteps=2, pertlim=1e-14, seed=777))
+
+
+class TestRunConfigValidation:
+    def test_zero_and_negative_nsteps_rejected(self):
+        with pytest.raises(ValueError, match="nsteps must be >= 1"):
+            RunConfig(nsteps=0)
+        with pytest.raises(ValueError, match="nsteps must be >= 1"):
+            RunConfig(nsteps=-3)
+
+    def test_non_int_nsteps_rejected(self):
+        with pytest.raises(ValueError, match="nsteps must be an int"):
+            RunConfig(nsteps=1.5)
+        with pytest.raises(ValueError, match="nsteps must be an int"):
+            RunConfig(nsteps=True)
+
+    def test_non_finite_pertlim_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="pertlim must be finite"):
+                RunConfig(pertlim=bad)
+
+    def test_non_numeric_pertlim_rejected(self):
+        with pytest.raises(ValueError, match="pertlim"):
+            RunConfig(pertlim="0.001")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed must be an int"):
+            RunConfig(seed=1.0)
+        with pytest.raises(ValueError, match="seed must be an int"):
+            RunConfig(seed="42")
+        with pytest.raises(ValueError, match="seed must be an int"):
+            RunConfig(seed=True)
+
+    def test_bad_max_statements_rejected(self):
+        with pytest.raises(ValueError, match="max_statements"):
+            RunConfig(max_statements=0)
+
+    def test_valid_configs_construct(self):
+        RunConfig()
+        RunConfig(nsteps=1, pertlim=-1e-14, seed=0)
+        RunConfig(pertlim=0)  # int zero is a fine real number
+
+
+class TestOutputArray:
+    def test_default_order_matches_registry_then_extras(self, control_run):
+        names = list(control_run.outputs)
+        array = control_run.output_array()
+        assert array.shape == (len(names),)
+        declared = list(OUTPUT_FIELD_NAMES)
+        assert names[: len(declared)] == declared
+        vector = control_run.output_vector()
+        np.testing.assert_array_equal(
+            array, np.array([vector[n] for n in names])
+        )
+
+    def test_explicit_name_order_is_respected(self, control_run):
+        names = sorted(control_run.outputs)[:5]
+        array = control_run.output_array(names)
+        vector = control_run.output_vector()
+        np.testing.assert_array_equal(
+            array, np.array([vector[n] for n in names])
+        )
+
+    def test_first_snapshot_array(self, two_step_run):
+        names = list(two_step_run.outputs)
+        first = two_step_run.output_array(names, which="first")
+        assert first.shape == (len(names),)
+        assert np.isfinite(first).all()
+        # multi-step run: at least one field evolved after step one
+        assert not np.array_equal(first, two_step_run.output_array(names))
+
+    def test_single_step_run_has_first_equal_final(self, control_run):
+        names = list(control_run.outputs)
+        np.testing.assert_array_equal(
+            control_run.output_array(names, which="first"),
+            control_run.output_array(names),
+        )
+
+    def test_unknown_field_raises_named_keyerror(self, control_run):
+        with pytest.raises(KeyError, match="NOT_A_FIELD"):
+            control_run.output_array(["NOT_A_FIELD"])
+
+    def test_unknown_snapshot_rejected(self, control_run):
+        with pytest.raises(ValueError, match="final.*first"):
+            control_run.output_array(which="middle")
+
+    def test_first_outputs_populated_for_every_field(self, control_run):
+        assert set(control_run.first_outputs) == set(control_run.outputs)

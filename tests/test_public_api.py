@@ -13,7 +13,14 @@ import pytest
 import repro
 
 #: backing modules implemented as of this PR
-IMPLEMENTED_MODULES = {"repro.fortran", "repro.model", "repro.graphs", "repro.runtime"}
+IMPLEMENTED_MODULES = {
+    "repro.fortran",
+    "repro.model",
+    "repro.graphs",
+    "repro.runtime",
+    "repro.ensemble",
+    "repro.ect",
+}
 
 IMPLEMENTED = sorted(
     name
