@@ -51,11 +51,17 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     # graph
     "MetaGraph": ("repro.graphs", "MetaGraph"),
     "build_metagraph": ("repro.graphs", "build_metagraph"),
+    # coverage reports
+    "CoverageReport": ("repro.coverage", "CoverageReport"),
     # ensemble / ECT / selection
     "Ensemble": ("repro.ensemble", "Ensemble"),
     "EnsembleGenerator": ("repro.ensemble", "EnsembleGenerator"),
     "EnsembleSpec": ("repro.ensemble", "EnsembleSpec"),
+    "ExecutionBackend": ("repro.ensemble", "ExecutionBackend"),
+    "RunArtifact": ("repro.ensemble", "RunArtifact"),
     "generate_ensemble": ("repro.ensemble", "generate_ensemble"),
+    "get_backend": ("repro.ensemble", "get_backend"),
+    "list_backends": ("repro.ensemble", "list_backends"),
     "EctConfig": ("repro.ect", "EctConfig"),
     "EctResult": ("repro.ect", "EctResult"),
     "UltraFastECT": ("repro.ect", "UltraFastECT"),
@@ -63,6 +69,8 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     "select_affected_variables": ("repro.selection", "select_affected_variables"),
     # slicing / analysis / refinement
     "backward_slice": ("repro.slicing", "backward_slice"),
+    "slice_failing_runs": ("repro.slicing", "slice_failing_runs"),
+    "RankedSlice": ("repro.slicing", "RankedSlice"),
     "girvan_newman_communities": ("repro.analysis", "girvan_newman_communities"),
     "eigenvector_in_centrality": ("repro.analysis", "eigenvector_in_centrality"),
     "IterativeRefinement": ("repro.refine", "IterativeRefinement"),

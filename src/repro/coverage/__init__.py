@@ -1,0 +1,29 @@
+"""repro.coverage — codecov-style report writing/parsing and filtering.
+
+The runtime half of coverage lives in :mod:`repro.runtime.coverage`: the
+interpreter records every executed statement into a
+:class:`~repro.runtime.CoverageTrace`.  This package is the *analysis*
+half — the paper's "export the codecov data and filter the source tree
+with it" step (§4.3):
+
+>>> from repro.coverage import CoverageReport
+>>> from repro.ensemble import generate_ensemble
+>>> ens = generate_ensemble(n=4)
+>>> report = CoverageReport.from_trace(ens.coverage, meta={"runs": 4})
+>>> report.write("coverage.json")          # codecov-style JSON
+>>> again = CoverageReport.read("coverage.json")
+>>> again == report                        # byte-stable round trip
+True
+>>> mg = report.restricted_to(["micro_mg", "microp_aero.F90"])
+
+Reports combine with set algebra — ``a | b`` (union across members),
+``a & b`` (lines both runs executed), ``a - b`` (lines only ``a``
+executed) — which is what the slicing stage uses to intersect static
+backward slices with what actually ran.
+"""
+
+from __future__ import annotations
+
+from .report import CoverageReport, CoverageReportError
+
+__all__ = ["CoverageReport", "CoverageReportError"]

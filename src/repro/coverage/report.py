@@ -1,0 +1,285 @@
+"""Codecov-style coverage reports over :class:`CoverageTrace` data.
+
+The paper compiles CESM with Intel codecov, runs a few time steps, and
+exports per-file line execution data; filtering the ~820 compiled modules
+down to the ~230 actually executed is what makes graph construction and
+slicing tractable (§4.3).  :class:`CoverageReport` is that exported object
+for the synthetic pipeline: a per-file ``{line: hits}`` map with metadata,
+written from any :class:`~repro.runtime.CoverageTrace` (a single run or an
+ensemble's merged trace), serialized to a stable JSON layout that parses
+back bit-for-bit.
+
+Reports are *set-algebraic*: ``union`` (lines executed in any run, hits
+summed), ``intersect`` (lines executed in every run, hits by minimum) and
+``subtract`` (lines executed here but not there) combine reports across
+ensemble members or between a failing run and the control, and
+``restricted_to`` filters a report to a set of modules — both fundamental
+moves of the root-cause pipeline (slicing intersects executed lines with
+the static backward slice; differencing isolates what only the failing
+configuration touched).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..runtime import CoverageTrace
+
+__all__ = ["CoverageReport", "CoverageReportError"]
+
+#: serialization format marker/version
+REPORT_FORMAT = "repro-coverage"
+REPORT_VERSION = 1
+
+
+class CoverageReportError(ValueError):
+    """Raised when a serialized report cannot be parsed."""
+
+
+def _normalize_module(name: str) -> str:
+    """Filter key for a module/file name: the file stem, lower-cased.
+
+    Accepts Fortran file names (``"micro_mg.F90"``), bare module names
+    (``"micro_mg"``) and mixed case; all map to the same key.
+    """
+    base = name.rsplit("/", 1)[-1]
+    stem = base.rsplit(".", 1)[0] if "." in base else base
+    return stem.lower()
+
+
+@dataclass
+class CoverageReport:
+    """Per-file line-hit maps of one (or several combined) runs."""
+
+    #: ``{filename: {line: hits}}`` — only executed lines appear
+    files: dict[str, dict[int, int]] = field(default_factory=dict)
+    #: free-form metadata carried through serialization (label, n_runs ...)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # drop empty per-file maps so value equality is canonical
+        self.files = {
+            name: dict(lines) for name, lines in self.files.items() if lines
+        }
+
+    # ------------------------------------------------------------- creation
+    @classmethod
+    def from_trace(
+        cls, trace: CoverageTrace, meta: dict | None = None
+    ) -> "CoverageReport":
+        """Write a report from a runtime trace (single run or merged)."""
+        files: dict[str, dict[int, int]] = {}
+        for (filename, line), count in trace.counts.items():
+            files.setdefault(filename, {})[line] = count
+        return cls(files=files, meta=dict(meta or {}))
+
+    def to_trace(self) -> CoverageTrace:
+        """The equivalent runtime trace (exact inverse of ``from_trace``)."""
+        counts = {
+            (filename, line): hits
+            for filename, lines in self.files.items()
+            for line, hits in lines.items()
+        }
+        return CoverageTrace(counts)
+
+    # -------------------------------------------------------------- queries
+    def filenames(self) -> list[str]:
+        """Sorted names of every file with at least one executed line."""
+        return sorted(self.files)
+
+    def lines(self, filename: str) -> dict[int, int]:
+        """``{line: hits}`` for one file (empty when never executed)."""
+        return dict(self.files.get(filename, {}))
+
+    def executed_lines(self, filename: str) -> list[int]:
+        """Sorted executed line numbers of one file."""
+        return sorted(self.files.get(filename, {}))
+
+    def hits(self, filename: str, line: int) -> int:
+        return self.files.get(filename, {}).get(line, 0)
+
+    @property
+    def total_lines(self) -> int:
+        """Number of distinct executed (file, line) pairs."""
+        return sum(len(lines) for lines in self.files.values())
+
+    @property
+    def total_hits(self) -> int:
+        """Total execution count over all lines."""
+        return sum(
+            hits for lines in self.files.values() for hits in lines.values()
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.files)
+
+    def __iter__(self) -> Iterator[tuple[str, int, int]]:
+        """Iterate ``(filename, line, hits)`` in sorted order."""
+        for filename in self.filenames():
+            for line in self.executed_lines(filename):
+                yield filename, line, self.files[filename][line]
+
+    # ---------------------------------------------------------- set algebra
+    def union(self, *others: "CoverageReport") -> "CoverageReport":
+        """Lines executed in *any* report; hits are summed.
+
+        Union is the cross-member merge: the ensemble's report is the
+        union of its members' reports, independent of member order.
+        """
+        files: dict[str, dict[int, int]] = {
+            name: dict(lines) for name, lines in self.files.items()
+        }
+        for other in others:
+            for name, lines in other.files.items():
+                mine = files.setdefault(name, {})
+                for line, hits in lines.items():
+                    mine[line] = mine.get(line, 0) + hits
+        return CoverageReport(files=files, meta=dict(self.meta))
+
+    def intersect(self, *others: "CoverageReport") -> "CoverageReport":
+        """Lines executed in *every* report; hits by minimum."""
+        files: dict[str, dict[int, int]] = {
+            name: dict(lines) for name, lines in self.files.items()
+        }
+        for other in others:
+            pruned: dict[str, dict[int, int]] = {}
+            for name, lines in files.items():
+                theirs = other.files.get(name)
+                if not theirs:
+                    continue
+                kept = {
+                    line: min(hits, theirs[line])
+                    for line, hits in lines.items()
+                    if line in theirs
+                }
+                if kept:
+                    pruned[name] = kept
+            files = pruned
+        return CoverageReport(files=files, meta=dict(self.meta))
+
+    def subtract(self, *others: "CoverageReport") -> "CoverageReport":
+        """Lines executed here but in *none* of the other reports.
+
+        Hit counts are kept from ``self`` — subtraction answers "what did
+        only this configuration execute", the differencing move that
+        isolates configuration-specific code paths.
+        """
+        files: dict[str, dict[int, int]] = {}
+        for name, lines in self.files.items():
+            kept = {
+                line: hits
+                for line, hits in lines.items()
+                if not any(line in o.files.get(name, {}) for o in others)
+            }
+            if kept:
+                files[name] = kept
+        return CoverageReport(files=files, meta=dict(self.meta))
+
+    def __or__(self, other: "CoverageReport") -> "CoverageReport":
+        return self.union(other)
+
+    def __and__(self, other: "CoverageReport") -> "CoverageReport":
+        return self.intersect(other)
+
+    def __sub__(self, other: "CoverageReport") -> "CoverageReport":
+        return self.subtract(other)
+
+    # ------------------------------------------------------------ filtering
+    def restricted_to(self, modules: Iterable[str]) -> "CoverageReport":
+        """A report keeping only files belonging to the given modules.
+
+        ``modules`` may mix Fortran module names (``"micro_mg"``) and file
+        names (``"micro_mg.F90"``), case-insensitively.  Unknown names
+        simply match nothing — filtering a report to modules it never
+        executed yields an empty report, not an error, because "was this
+        ever executed?" is exactly the question the filter answers.
+        """
+        keep = {_normalize_module(m) for m in modules}
+        return CoverageReport(
+            files={
+                name: dict(lines)
+                for name, lines in self.files.items()
+                if _normalize_module(name) in keep
+            },
+            meta=dict(self.meta),
+        )
+
+    def executed_modules(self) -> list[str]:
+        """Sorted normalized module names with at least one executed line."""
+        return sorted({_normalize_module(name) for name in self.files})
+
+    # -------------------------------------------------------- serialization
+    def to_json(self, indent: int | None = 2) -> str:
+        """The canonical JSON form (sorted keys — byte-stable round trips)."""
+        payload = {
+            "format": REPORT_FORMAT,
+            "version": REPORT_VERSION,
+            "meta": self.meta,
+            "coverage": {
+                filename: {
+                    str(line): self.files[filename][line]
+                    for line in sorted(self.files[filename])
+                }
+                for filename in sorted(self.files)
+            },
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoverageReport":
+        """Parse a report serialized by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CoverageReportError(f"not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != REPORT_FORMAT:
+            raise CoverageReportError(
+                f"not a {REPORT_FORMAT} report (format="
+                f"{payload.get('format')!r})"
+                if isinstance(payload, dict)
+                else "not a coverage report object"
+            )
+        version = payload.get("version")
+        if version != REPORT_VERSION:
+            raise CoverageReportError(
+                f"unsupported report version {version!r} "
+                f"(expected {REPORT_VERSION})"
+            )
+        coverage = payload.get("coverage", {})
+        if not isinstance(coverage, dict):
+            raise CoverageReportError("'coverage' must be an object")
+        files: dict[str, dict[int, int]] = {}
+        try:
+            for filename, lines in coverage.items():
+                files[str(filename)] = {
+                    int(line): int(hits) for line, hits in lines.items()
+                }
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise CoverageReportError(
+                f"malformed line-hit map: {exc}"
+            ) from exc
+        meta = payload.get("meta", {})
+        if not isinstance(meta, dict):
+            raise CoverageReportError("'meta' must be an object")
+        return cls(files=files, meta=meta)
+
+    def write(self, path: str | os.PathLike) -> None:
+        """Serialize to ``path`` (UTF-8 JSON)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def read(cls, path: str | os.PathLike) -> "CoverageReport":
+        """Parse the report at ``path``."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def summary(self) -> str:
+        return (
+            f"CoverageReport(files={len(self.files)}, "
+            f"lines={self.total_lines}, hits={self.total_hits})"
+        )

@@ -5,11 +5,15 @@ set of N model runs that differ only in accepted ways (tiny
 initial-temperature perturbations and independent PRNG seeds) defines the
 distribution a change must stay inside to count as "the same climate".
 :class:`EnsembleSpec` derives the N member configs deterministically from
-one base seed, :func:`generate_ensemble` fans them out over a thread pool
-sharing one parsed :class:`~repro.model.builder.ModelSource` (with an
-optional content-addressed disk cache making re-runs incremental), and the
-resulting :class:`Ensemble` holds the member matrix plus merged coverage
-for the ECT / slicing stages.
+one base seed, :func:`generate_ensemble` fans them out through a pluggable
+execution backend (``serial`` / ``thread`` / ``process`` — see
+:mod:`repro.ensemble.backends`) sharing one parsed
+:class:`~repro.model.builder.ModelSource`, with an optional
+content-addressed :class:`RunArtifact` disk cache making re-runs
+incremental (coverage included), and the resulting :class:`Ensemble`
+holds the member matrix plus merged coverage for the ECT / slicing
+stages.  All backends are bit-identical; ``process`` is the one that
+scales past the GIL.
 
 Quickstart — does the ``cldfrc-premib`` bug patch change the climate?
 
@@ -31,6 +35,16 @@ True
 
 from __future__ import annotations
 
+from .artifact import RunArtifact
+from .backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from .cache import MemberCache, member_cache_key
 from .generate import Ensemble, EnsembleGenerator, generate_ensemble, run_vector
 from .spec import EnsembleSpec
@@ -39,8 +53,16 @@ __all__ = [
     "Ensemble",
     "EnsembleGenerator",
     "EnsembleSpec",
+    "ExecutionBackend",
     "MemberCache",
+    "ProcessBackend",
+    "RunArtifact",
+    "SerialBackend",
+    "ThreadBackend",
     "generate_ensemble",
+    "get_backend",
+    "list_backends",
     "member_cache_key",
+    "register_backend",
     "run_vector",
 ]

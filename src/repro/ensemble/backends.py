@@ -1,0 +1,323 @@
+"""Pluggable execution backends for the ensemble member fan-out.
+
+``generate_ensemble`` is a *coordinator*: it derives member configs,
+consults the artifact cache, and hands the cache misses to an
+:class:`ExecutionBackend` that decides **where** the interpreter runs.
+Three backends ship:
+
+``serial``
+    Run members one after another in the calling thread.  The reference
+    semantics every other backend must match bit-for-bit, and the fastest
+    choice for one or two members.
+
+``thread``
+    A :class:`concurrent.futures.ThreadPoolExecutor` sharing one parsed
+    :class:`~repro.model.builder.ModelSource`.  Cheap to start and fine for
+    overlapping cache I/O, but the interpreter is pure Python, so member
+    *execution* is GIL-bound — wall clock scales like ``serial`` no matter
+    the pool width.
+
+``process``
+    A :class:`concurrent.futures.ProcessPoolExecutor` that sidesteps the
+    GIL.  Each worker keeps a per-process ``{model token: parsed
+    ModelSource}`` cache, so a worker pays the build + parse cost once and
+    then runs many members against the cached ASTs; under the ``fork``
+    start method the workers additionally inherit the parent's already
+    parsed source for free.  Workers return :class:`RunArtifact` values
+    (plain arrays + counters), never interpreter internals, so the IPC
+    payload stays small and version-stable.
+
+Every backend maps the same ``(index, RunConfig)`` list to the same
+artifacts — the interpreter is deterministic, so ``serial``, ``thread``
+and ``process`` produce bit-identical ensembles (a conformance test holds
+them to that).
+
+Backends are looked up by name via :func:`get_backend`; the selection knob
+on :class:`~repro.ensemble.spec.EnsembleSpec` / ``generate_ensemble`` and
+the ``REPRO_ENSEMBLE_BACKEND`` environment variable both resolve through
+the same registry, so new backends (e.g. a cluster dispatcher) only need
+one ``register_backend`` call.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, wait
+from typing import Callable, Iterator, Optional
+
+from ..model.builder import ModelConfig, ModelSource, build_model_source
+from ..runtime import RunConfig, run_model
+from .artifact import RunArtifact
+from .cache import member_cache_key
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]
+
+#: environment knob consulted when neither the call nor the spec chooses
+BACKEND_ENV_VAR = "REPRO_ENSEMBLE_BACKEND"
+
+#: the fallback when nothing selects a backend (see ``resolve_backend_name``)
+DEFAULT_BACKEND = "thread"
+
+
+def _run_artifact(source: ModelSource, config: RunConfig) -> RunArtifact:
+    """Run one member and wrap it as an artifact (shared by all backends)."""
+    result = run_model(config, source=source)
+    return RunArtifact.from_result(result, member_cache_key(source, config))
+
+
+class ExecutionBackend(ABC):
+    """Strategy interface: run member configs, yield artifacts as they land.
+
+    ``run_members`` receives the shared built+parsed :class:`ModelSource`
+    and ``(index, config)`` pairs; it yields ``(index, RunArtifact)`` in
+    *completion* order (the coordinator reassembles member order).  A
+    backend must produce exactly one artifact per submitted index and must
+    be bit-identical to :class:`SerialBackend`.
+    """
+
+    #: registry name; subclasses set it
+    name: str = ""
+
+    @abstractmethod
+    def run_members(
+        self,
+        source: ModelSource,
+        jobs: list[tuple[int, RunConfig]],
+    ) -> Iterator[tuple[int, RunArtifact]]:
+        """Yield ``(index, artifact)`` for every job, in completion order."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SerialBackend(ExecutionBackend):
+    """Reference backend: run members in submission order, inline."""
+
+    name = "serial"
+
+    def run_members(
+        self,
+        source: ModelSource,
+        jobs: list[tuple[int, RunConfig]],
+    ) -> Iterator[tuple[int, RunArtifact]]:
+        for index, config in jobs:
+            yield index, _run_artifact(source, config)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool fan-out over one shared parsed source (GIL-bound)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+
+    def run_members(
+        self,
+        source: ModelSource,
+        jobs: list[tuple[int, RunConfig]],
+    ) -> Iterator[tuple[int, RunArtifact]]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = self.max_workers or min(4, len(jobs)) or 1
+        with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+            pending = {
+                pool.submit(_run_artifact, source, config): index
+                for index, config in jobs
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield pending.pop(future), future.result()
+
+    def describe(self) -> str:
+        return f"thread(max_workers={self.max_workers or 'auto'})"
+
+
+# --------------------------------------------------------------------------
+# process backend: per-worker parsed-source cache
+# --------------------------------------------------------------------------
+
+#: per-process cache {model token: built+parsed ModelSource}.  Populated in
+#: the parent before the pool starts so `fork` workers inherit a warm cache;
+#: `spawn` workers fill it on their first member and reuse it afterwards.
+_WORKER_SOURCES: dict[tuple, ModelSource] = {}
+
+
+def _model_token(config: ModelConfig) -> tuple:
+    """Hashable identity of a built source tree (compset, patches, macros)."""
+    return (
+        config.compset,
+        tuple(config.patches),
+        tuple(sorted(config.macros.items())),
+    )
+
+
+def _worker_source(model: ModelConfig) -> ModelSource:
+    token = _model_token(model)
+    source = _WORKER_SOURCES.get(token)
+    if source is None:
+        source = build_model_source(model)
+        source.parse()
+        _WORKER_SOURCES[token] = source
+    return source
+
+
+def _process_worker(job: tuple[int, RunConfig]) -> tuple[int, RunArtifact]:
+    """Top-level (picklable) worker: parse once per process, run many."""
+    index, config = job
+    return index, _run_artifact(_worker_source(config.model), config)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool fan-out with a per-worker parsed-source cache.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width (default ``min(n_jobs, os.cpu_count())``).
+    mp_context:
+        A :mod:`multiprocessing` context or start-method name
+        (``"fork"``/``"spawn"``/``"forkserver"``); default is the
+        platform's.  The spawn path requires ``repro`` to be importable in
+        child processes (e.g. ``PYTHONPATH=src``), which the CI spawn leg
+        guards.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        mp_context=None,
+    ):
+        self.max_workers = max_workers
+        if isinstance(mp_context, str):
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(mp_context)
+        self.mp_context = mp_context
+
+    def run_members(
+        self,
+        source: ModelSource,
+        jobs: list[tuple[int, RunConfig]],
+    ) -> Iterator[tuple[int, RunArtifact]]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Warm the module-level cache in *this* process: fork children
+        # inherit the parsed ASTs copy-on-write and never re-parse.  The
+        # entry is evicted once the pool is gone — it is only needed while
+        # children are being forked, and pinning every tree ever run would
+        # leak a full parse per configuration in long sessions.
+        token = _model_token(source.config)
+        previous = _WORKER_SOURCES.get(token)
+        _WORKER_SOURCES[token] = source
+        source.parse()
+
+        workers = self.max_workers or min(len(jobs), os.cpu_count() or 1)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=max(1, workers), mp_context=self.mp_context
+            ) as pool:
+                pending = {
+                    pool.submit(_process_worker, job): job[0] for job in jobs
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        pending.pop(future)
+                        yield future.result()
+        finally:
+            if previous is None:
+                _WORKER_SOURCES.pop(token, None)
+            else:
+                _WORKER_SOURCES[token] = previous
+
+    def describe(self) -> str:
+        method = (
+            self.mp_context.get_start_method()
+            if self.mp_context is not None
+            else "default"
+        )
+        return (
+            f"process(max_workers={self.max_workers or 'auto'}, "
+            f"start={method})"
+        )
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+
+_BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[..., ExecutionBackend]
+) -> None:
+    """Register a backend factory under ``name`` (``factory(max_workers=)``)."""
+    if name in _BACKENDS:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def list_backends() -> list[str]:
+    """Names of all registered execution backends, sorted."""
+    return sorted(_BACKENDS)
+
+
+register_backend("serial", lambda max_workers=None: SerialBackend())
+register_backend("thread", ThreadBackend)
+register_backend("process", ProcessBackend)
+
+
+def resolve_backend_name(*candidates: Optional[str]) -> str:
+    """First non-None name among ``candidates``, the environment knob
+    (``REPRO_ENSEMBLE_BACKEND``), and the package default."""
+    for name in candidates:
+        if name is not None:
+            return name
+    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+
+
+def get_backend(
+    backend: "ExecutionBackend | str | None" = None,
+    max_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Resolve a backend instance from an instance, a name, or the default.
+
+    Passing an :class:`ExecutionBackend` returns it unchanged (so callers
+    can hand over a pre-configured pool) — combining an instance with
+    ``max_workers`` is a :class:`ValueError` rather than a silently
+    ignored knob; a string is looked up in the registry; ``None`` falls
+    back to the ``REPRO_ENSEMBLE_BACKEND`` environment variable and then
+    to ``"thread"``.
+    """
+    if isinstance(backend, ExecutionBackend):
+        if max_workers is not None:
+            raise ValueError(
+                "max_workers cannot override a pre-configured backend "
+                "instance; construct the backend with the desired width "
+                "instead"
+            )
+        return backend
+    name = resolve_backend_name(backend)
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(list_backends())
+        raise ValueError(
+            f"unknown execution backend {name!r} (known: {known})"
+        ) from None
+    return factory(max_workers=max_workers)

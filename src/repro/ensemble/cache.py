@@ -1,13 +1,21 @@
-"""Content-addressed on-disk cache of ensemble member runs.
+"""Content-addressed on-disk cache of ensemble member run artifacts.
 
 A member's cache key is a SHA-256 over everything that determines its
 numbers: the *patched* compiled source text (so a new bug patch or any
 model-source edit invalidates automatically), every runtime knob of its
-:class:`~repro.runtime.RunConfig`, and a format version.  Values are
-``.npz`` files holding the output snapshots, the coverage counts and the
-run counters — enough to rebuild a :class:`~repro.runtime.RunResult`
-without re-interpreting ~36k statements, which is what makes
-``generate_ensemble`` incremental across processes and PRs.
+:class:`~repro.runtime.RunConfig` — including the **full**
+:class:`~repro.runtime.FPConfig` floating-point model and the
+coverage-enablement flag, so cache hits can never cross numerically or
+observationally distinct configurations — and a format version.  Values
+are :class:`~repro.ensemble.artifact.RunArtifact` payloads (one ``.npz``
+per member: output snapshots, ``@first`` snapshots, coverage counts, run
+counters), so coverage is cached alongside outputs and incremental
+re-runs preserve it.
+
+The FP token is derived generically from the ``FPConfig`` dataclass
+fields: a field added to ``FPConfig`` in a later PR automatically changes
+the hash instead of being silently omitted (the regression that motivated
+this layout).
 
 Writes go through a temp file + ``os.replace`` so a crashed run never
 leaves a truncated entry behind, and concurrent generators racing on the
@@ -16,34 +24,49 @@ same key simply both win.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
 from ..model.builder import ModelSource
-from ..runtime import CoverageTrace, RunConfig, RunResult
+from ..runtime import FPConfig, RunConfig, RunResult
+from .artifact import ArtifactError, RunArtifact
 
 __all__ = ["MemberCache", "member_cache_key"]
 
-#: bump when the serialized layout or run semantics change incompatibly
-CACHE_FORMAT = 1
+#: bump when the serialized layout or run semantics change incompatibly.
+#: 2: RunArtifact payloads (adds format/config_key fields) + generic FP token.
+CACHE_FORMAT = 2
 
 
-def _fp_token(config: RunConfig) -> dict:
-    fp = config.fp
+def _json_safe(value):
+    """Make dataclass field values deterministic JSON (sets sorted, floats
+    hex-exact so -0.0/rounding can never alias two configs)."""
+    if isinstance(value, (frozenset, set)):
+        return sorted(_json_safe(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in sorted(value.items())}
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return float(value).hex()
+    return repr(value)
+
+
+def _fp_token(fp: FPConfig) -> dict:
+    """Every FPConfig field, generically: new knobs can't be missed."""
     return {
-        "fma": bool(fp.fma),
-        # frozenset() (FMA nowhere) and None (FMA everywhere) are different
-        # builds and must hash differently
-        "fma_modules": (
-            sorted(fp.fma_modules) if fp.fma_modules is not None else None
-        ),
-        "flush_to_zero": bool(fp.flush_to_zero),
+        f.name: _json_safe(getattr(fp, f.name))
+        for f in dataclasses.fields(fp)
     }
 
 
@@ -52,16 +75,14 @@ def member_cache_key(source: ModelSource, config: RunConfig) -> str:
     h = hashlib.sha256()
     h.update(b"repro-ensemble-member\x00")
     h.update(str(CACHE_FORMAT).encode())
-    for name in source.compiled_files:
-        h.update(name.encode())
-        h.update(b"\x00")
-        h.update(source.files[name].encode())
-        h.update(b"\x01")
+    # the source identity is memoized per ModelSource instance, so deriving
+    # N member keys hashes the ~40-file tree once, not N times
+    h.update(source.content_digest().encode())
     token = {
         "nsteps": config.nsteps,
         "pertlim": float(config.pertlim).hex(),
         "seed": config.seed,
-        "fp": _fp_token(config),
+        "fp": _fp_token(config.fp),
         "collect_coverage": bool(config.collect_coverage),
         "max_statements": config.max_statements,
     }
@@ -70,7 +91,7 @@ def member_cache_key(source: ModelSource, config: RunConfig) -> str:
 
 
 class MemberCache:
-    """Load/store :class:`RunResult` values under content-addressed keys."""
+    """Load/store :class:`RunArtifact` values under content-addressed keys."""
 
     def __init__(self, directory: str | os.PathLike):
         self.directory = Path(directory)
@@ -81,75 +102,57 @@ class MemberCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.npz"
 
-    def load(self, key: str, config: RunConfig) -> Optional[RunResult]:
-        """The cached result for ``key``, or None on miss/corruption."""
+    def load_artifact(self, key: str) -> Optional[RunArtifact]:
+        """The cached artifact for ``key``, or None on miss/corruption."""
         path = self._path(key)
         if not path.exists():
             self.misses += 1
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
-                outputs = {}
-                first_outputs = {}
-                for full in data.files:
-                    if full.startswith("out::"):
-                        outputs[full[5:]] = data[full]
-                    elif full.startswith("first::"):
-                        first_outputs[full[7:]] = data[full]
-                counts: dict[tuple[str, int], int] = {}
-                if "cov_files" in data.files:
-                    cov_files = data["cov_files"]
-                    cov_lines = data["cov_lines"]
-                    cov_counts = data["cov_counts"]
-                    for fname, line, count in zip(
-                        cov_files, cov_lines, cov_counts
-                    ):
-                        counts[(str(fname), int(line))] = int(count)
-                meta = data["meta"]
-                statements, draws = int(meta[0]), int(meta[1])
-        except (OSError, KeyError, ValueError, IndexError):
+                artifact = RunArtifact.from_payload(data)
+        except (
+            OSError,
+            EOFError,  # zero-length/truncated file
+            zipfile.BadZipFile,  # zip magic but corrupt body
+            ArtifactError,
+            KeyError,
+            ValueError,
+            IndexError,
+        ):
+            self.misses += 1
+            return None
+        if artifact.config_key != key:
+            # a renamed/mangled entry: never serve it under the wrong key
             self.misses += 1
             return None
         self.hits += 1
-        return RunResult(
-            config=config,
-            outputs=outputs,
-            coverage=CoverageTrace(counts),
-            statements_executed=statements,
-            prng_draws=draws,
-            first_outputs=first_outputs,
-        )
+        return artifact
 
-    def store(self, key: str, result: RunResult) -> None:
-        """Persist ``result`` under ``key`` (atomic via temp + replace)."""
-        payload: dict[str, np.ndarray] = {
-            "meta": np.array(
-                [result.statements_executed, result.prng_draws], dtype=np.int64
-            )
-        }
-        for name, value in result.outputs.items():
-            payload[f"out::{name}"] = np.asarray(value)
-        for name, value in result.first_outputs.items():
-            payload[f"first::{name}"] = np.asarray(value)
-        if result.coverage.counts:
-            items = sorted(result.coverage.counts.items())
-            payload["cov_files"] = np.array([k[0] for k, _ in items])
-            payload["cov_lines"] = np.array(
-                [k[1] for k, _ in items], dtype=np.int64
-            )
-            payload["cov_counts"] = np.array(
-                [count for _, count in items], dtype=np.int64
-            )
+    def load(self, key: str, config: RunConfig) -> Optional[RunResult]:
+        """The cached result for ``key`` rehydrated for ``config``."""
+        artifact = self.load_artifact(key)
+        if artifact is None:
+            return None
+        return artifact.to_result(config)
+
+    def store_artifact(self, artifact: RunArtifact) -> None:
+        """Persist ``artifact`` under its own content key (atomic write)."""
+        payload = artifact.to_payload()
         fd, tmp = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=".npz"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez_compressed(handle, **payload)
-            os.replace(tmp, self._path(key))
+            os.replace(tmp, self._path(artifact.config_key))
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+
+    def store(self, key: str, result: RunResult) -> None:
+        """Persist ``result`` under ``key`` (compat shim over artifacts)."""
+        self.store_artifact(RunArtifact.from_result(result, key))

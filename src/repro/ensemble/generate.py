@@ -1,31 +1,37 @@
 """Accepted-ensemble generation over the live interpreter.
 
 ``generate_ensemble`` expands an :class:`~repro.ensemble.spec.EnsembleSpec`
-into N member runs, fanning the members out over a
-:class:`concurrent.futures.ThreadPoolExecutor` that shares one parsed
-:class:`~repro.model.builder.ModelSource` (every member interprets the same
-cached ASTs the metagraph uses).  Members already present in the optional
-content-addressed disk cache are loaded instead of re-run, so repeated
-invocations are incremental.  The collected :class:`Ensemble` is the
-statistical object the ECT layer consumes: a ``(n_members, n_variables)``
-matrix of global-mean output values over *two* snapshots per variable — the
-end-of-run state and the end-of-first-step state (``<NAME>@first``), whose
-across-member bit-invariants make ULP-level effects like FMA contraction
-testable — plus the members' merged :class:`CoverageTrace`.
+into N member runs.  It is a *coordinator*: member configs are derived from
+the spec, members already present in the content-addressed artifact cache
+are loaded (coverage included — a cache hit preserves the member's
+:class:`CoverageTrace`), and the remaining misses are fanned out through a
+pluggable :class:`~repro.ensemble.backends.ExecutionBackend` (``serial``,
+``thread``, or ``process`` — the process pool is how O(1000)-member
+ensembles get past the GIL).  Every backend produces bit-identical
+members, so the backend choice never changes the science.
+
+The collected :class:`Ensemble` is the statistical object the ECT layer
+consumes: a ``(n_members, n_variables)`` matrix of global-mean output
+values over *two* snapshots per variable — the end-of-run state and the
+end-of-first-step state (``<NAME>@first``), whose across-member
+bit-invariants make ULP-level effects like FMA contraction testable —
+plus the members' merged :class:`CoverageTrace` for the coverage/slicing
+stages.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from ..model.builder import ModelSource, build_model_source
-from ..runtime import CoverageTrace, RunConfig, RunResult, run_model
+from ..runtime import CoverageTrace, RunConfig, RunResult
+from .artifact import RunArtifact
+from .backends import ExecutionBackend, get_backend
 from .cache import MemberCache, member_cache_key
 from .spec import EnsembleSpec
 
@@ -107,6 +113,7 @@ def generate_ensemble(
     n: Optional[int] = None,
     source: Optional[ModelSource] = None,
     cache_dir: Optional[str | os.PathLike] = None,
+    backend: "ExecutionBackend | str | None" = None,
     max_workers: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> Ensemble:
@@ -122,16 +129,24 @@ def generate_ensemble(
         (``generate_ensemble(n=30)``).
     source:
         An already-built :class:`ModelSource` matching ``spec.model``; built
-        once here when omitted and shared (with its parse cache) by every
-        member thread.
+        once here when omitted and shared (with its parse cache) by the
+        backend's workers.
     cache_dir:
-        Directory of the content-addressed member cache.  Omit to disable
-        caching.
+        Directory of the content-addressed member artifact cache.  Omit to
+        disable caching.  Cached members keep their coverage: incremental
+        re-runs never drop or recompute a member's trace.
+    backend:
+        Execution backend for the cache-miss fan-out: a registered name
+        (``"serial"``, ``"thread"``, ``"process"``) or a pre-configured
+        :class:`ExecutionBackend` instance.  ``None`` falls back to
+        ``spec.backend``, then the ``REPRO_ENSEMBLE_BACKEND`` environment
+        variable, then ``"thread"``.  All backends are bit-identical; the
+        process pool is the one that scales past the GIL.
     max_workers:
-        Thread-pool width for the member fan-out (default
-        ``min(4, n_members)``).
+        Pool width for pool-based backends (default: backend-specific).
     progress:
-        Optional ``callback(done, total)`` invoked as members complete.
+        Optional ``callback(done, total)`` invoked as members complete
+        (cache hits included).
     """
     spec = spec or EnsembleSpec()
     if n is not None:
@@ -143,43 +158,59 @@ def generate_ensemble(
             "the provided ModelSource was built from a different ModelConfig "
             "than spec.model"
         )
-    source.parse()  # warm the shared AST cache once, outside the pool
+    source.parse()  # warm the shared AST cache once, outside any pool
 
+    exec_backend = get_backend(
+        backend if backend is not None else spec.backend,
+        max_workers=max_workers,
+    )
     cache = MemberCache(cache_dir) if cache_dir is not None else None
     configs = spec.member_configs()
-    results: list[Optional[RunResult]] = [None] * len(configs)
+    total = len(configs)
+    artifacts: list[Optional[RunArtifact]] = [None] * total
     done = 0
 
-    def run_member(index: int, config: RunConfig) -> tuple[int, RunResult]:
+    def advance() -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total)
+
+    # phase 1: satisfy what the artifact cache already holds
+    misses: list[tuple[int, RunConfig]] = []
+    for index, config in enumerate(configs):
         if cache is not None:
             key = member_cache_key(source, config)
-            cached = cache.load(key, config)
+            cached = cache.load_artifact(key)
             if cached is not None:
-                return index, cached
-        result = run_model(config, source=source)
-        if cache is not None:
-            cache.store(key, result)
-        return index, result
+                artifacts[index] = cached
+                advance()
+                continue
+        misses.append((index, config))
 
-    workers = max_workers if max_workers is not None else min(4, len(configs))
-    with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
-        for index, result in pool.map(
-            run_member, range(len(configs)), configs
-        ):
-            results[index] = result
-            done += 1
-            if progress is not None:
-                progress(done, len(configs))
+    # phase 2: fan the misses out through the execution backend
+    if misses:
+        for index, artifact in exec_backend.run_members(source, misses):
+            artifacts[index] = artifact
+            if cache is not None:
+                cache.store_artifact(artifact)
+            advance()
 
-    members: list[RunResult] = [r for r in results if r is not None]
-    if len(members) != len(configs):  # pragma: no cover - defensive
-        raise RuntimeError("ensemble generation lost members")
+    if any(a is None for a in artifacts):  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"backend {exec_backend.describe()} lost ensemble members"
+        )
+    members: list[RunResult] = [
+        artifact.to_result(config)
+        for artifact, config in zip(artifacts, configs)
+    ]
 
     names = _variable_names(members[0])
     matrix = np.stack([run_vector(r, names) for r in members])
     coverage = CoverageTrace().merged(*(r.coverage for r in members))
     sd = matrix.std(axis=0, ddof=1)
     stats = {
+        "backend": exec_backend.describe(),
         "statements_per_member": [r.statements_executed for r in members],
         "invariant_variables": [
             names[j] for j in range(len(names)) if sd[j] == 0.0
@@ -200,19 +231,22 @@ def generate_ensemble(
 class EnsembleGenerator:
     """OO facade over :func:`generate_ensemble` for repeated generation.
 
-    Holds the shared :class:`ModelSource` and cache directory so successive
-    calls (e.g. an accepted ensemble plus batches of experimental runs in
-    the same process) reuse the parse cache and the disk cache.
+    Holds the shared :class:`ModelSource`, the backend selection and the
+    cache directory so successive calls (e.g. an accepted ensemble plus
+    batches of experimental runs in the same process) reuse the parse
+    cache and the disk cache.
     """
 
     def __init__(
         self,
         spec: Optional[EnsembleSpec] = None,
         cache_dir: Optional[str | os.PathLike] = None,
+        backend: "ExecutionBackend | str | None" = None,
         max_workers: Optional[int] = None,
     ):
         self.spec = spec or EnsembleSpec()
         self.cache_dir = cache_dir
+        self.backend = backend
         self.max_workers = max_workers
         self._source = build_model_source(self.spec.model)
 
@@ -227,6 +261,7 @@ class EnsembleGenerator:
             n=n,
             source=self._source,
             cache_dir=self.cache_dir,
+            backend=self.backend,
             max_workers=self.max_workers,
         )
 
@@ -237,6 +272,8 @@ class EnsembleGenerator:
         fp=None,
     ) -> list[RunResult]:
         """``count`` experimental runs with held-out seeds (see spec)."""
+        from ..runtime import run_model
+
         runs = []
         for i in range(count):
             config = self.spec.experimental_config(i, model=model, fp=fp)

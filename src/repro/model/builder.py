@@ -19,6 +19,7 @@ slicer all share one parse of the tree.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from ..fortran import parse_source
@@ -70,10 +71,29 @@ class ModelSource:
     compiled_files: tuple[str, ...]
     macros: dict[str, str]
     _asts: dict[str, SourceFileAST] | None = field(default=None, repr=False)
+    _digest: str | None = field(default=None, repr=False, compare=False)
 
     def compiled_sources(self) -> dict[str, str]:
         """Mapping of compiled file name -> source text, in build order."""
         return {name: self.files[name] for name in self.compiled_files}
+
+    def content_digest(self) -> str:
+        """SHA-256 over the compiled tree (names + patched text), cached.
+
+        This is the "what would the compiler see" identity the member
+        cache keys on; computing it once per instance keeps cache-key
+        derivation O(1) per ensemble member instead of re-hashing ~40
+        files for each of N members.
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            for name in self.compiled_files:
+                h.update(name.encode())
+                h.update(b"\x00")
+                h.update(self.files[name].encode())
+                h.update(b"\x01")
+            self._digest = h.hexdigest()
+        return self._digest
 
     def parse(self, include_uncompiled: bool = False) -> dict[str, SourceFileAST]:
         """Parse the tree into ``{filename: SourceFileAST}``.

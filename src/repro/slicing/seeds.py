@@ -1,0 +1,98 @@
+"""Map output variables to metagraph seed nodes (and modules to files).
+
+The paper slices backward from the output variables the consistency test
+flags.  The bridge from an output-field *name* (``"PRECT"``) to graph
+*nodes* is the model's history layer: every field is written by a
+``call outfld('NAME', payload)`` (or ``outfld2d``) statement, so the seed
+nodes of a field are the variable nodes its payload expression reads at
+the call site.  Scanning call sites — instead of guessing by name — keeps
+the mapping correct when the payload variable is named differently from
+the field (``CLDTOT`` is written from ``cltot``) or lives in another
+module via use-association (``RELHUM`` is written from the physics
+buffer's ``pbuf_relhum``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..fortran.ast_nodes import (
+    Apply,
+    CallStmt,
+    DerivedRef,
+    SourceFileAST,
+    StringLit,
+    VarRef,
+)
+from ..graphs.metagraph import MetaGraph, NodeKey
+
+__all__ = ["module_file_map", "output_field_seeds"]
+
+#: history-write entry points recognized at call sites
+_OUTFLD_NAMES = frozenset({"outfld", "outfld2d"})
+
+
+def _parsed(source) -> Mapping[str, SourceFileAST]:
+    """Accept a ModelSource or an already-parsed ``{filename: AST}`` map."""
+    if hasattr(source, "parse"):
+        return source.parse()
+    return source
+
+
+def module_file_map(source) -> dict[str, str]:
+    """``{fortran module name: filename}`` over the parsed tree."""
+    out: dict[str, str] = {}
+    for filename, ast in _parsed(source).items():
+        for mod in ast.modules:
+            out[mod.name] = filename
+    return out
+
+
+def _payload_name(expr) -> str | None:
+    """The dotted variable name an outfld payload expression designates."""
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, Apply):  # array element/section payload
+        return expr.name
+    if isinstance(expr, DerivedRef):
+        base = _payload_name(expr.base)
+        return f"{base}%{expr.component}" if base else None
+    return None
+
+
+def output_field_seeds(
+    source, graph: MetaGraph
+) -> dict[str, frozenset[NodeKey]]:
+    """Seed nodes per output field, from ``outfld`` call sites.
+
+    For every ``call outfld('NAME', payload)`` in the parsed tree, the
+    seeds of ``NAME`` are the graph nodes matching the payload variable —
+    preferentially in the calling module/scope, falling back to a global
+    canonical-name match for use-associated payloads (e.g. physics-buffer
+    fields owned by another module).
+    """
+    seeds: dict[str, set[NodeKey]] = {}
+    for ast in _parsed(source).values():
+        for mod in ast.modules:
+            for sub, stmt in mod.walk_statements():
+                if not isinstance(stmt, CallStmt):
+                    continue
+                if stmt.name not in _OUTFLD_NAMES or len(stmt.args) < 2:
+                    continue
+                label = stmt.args[0]
+                if not isinstance(label, StringLit):
+                    continue
+                name = _payload_name(stmt.args[1])
+                if name is None:
+                    continue
+                canonical = name.rsplit("%", 1)[-1].lower()
+                scope_names = (sub.name, "") if sub is not None else ("",)
+                keys = [
+                    key
+                    for key in graph.find(canonical)
+                    if key[0] == mod.name and key[1] in scope_names
+                ]
+                if not keys:  # use-associated payload: match anywhere
+                    keys = graph.find(canonical)
+                seeds.setdefault(label.value, set()).update(keys)
+    return {field: frozenset(keys) for field, keys in seeds.items()}

@@ -1,0 +1,15 @@
+"""Shared expensive fixtures for the integration suites."""
+
+import pytest
+
+from repro.ensemble import EnsembleSpec, generate_ensemble
+
+#: the accepted-ensemble configuration the ECT and slicing integration
+#: suites share (coverage off: 30 members is the expensive part)
+ACCEPTED_SPEC = EnsembleSpec(n_members=30, collect_coverage=False)
+
+
+@pytest.fixture(scope="session")
+def accepted_ensemble_30():
+    """One 30-member accepted ensemble per test session."""
+    return generate_ensemble(ACCEPTED_SPEC)

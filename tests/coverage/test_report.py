@@ -1,0 +1,179 @@
+"""CoverageReport: round-trips, set algebra, filtering, trace edge cases."""
+
+import pytest
+
+from repro.coverage import CoverageReport, CoverageReportError
+from repro.runtime import CoverageTrace
+
+
+def trace(*entries):
+    t = CoverageTrace()
+    for filename, line, hits in entries:
+        t.record(filename, line, hits)
+    return t
+
+
+@pytest.fixture
+def report():
+    return CoverageReport.from_trace(
+        trace(
+            ("micro_mg.F90", 10, 3),
+            ("micro_mg.F90", 12, 1),
+            ("cloud_fraction.F90", 5, 7),
+        ),
+        meta={"label": "unit"},
+    )
+
+
+class TestRoundTrip:
+    def test_trace_round_trip_is_exact(self, report):
+        assert CoverageReport.from_trace(report.to_trace()).files == report.files
+
+    def test_json_round_trip_preserves_value(self, report):
+        again = CoverageReport.from_json(report.to_json())
+        assert again == report
+
+    def test_json_is_byte_stable(self, report):
+        text = report.to_json()
+        assert CoverageReport.from_json(text).to_json() == text
+
+    def test_file_round_trip(self, report, tmp_path):
+        path = tmp_path / "coverage.json"
+        report.write(path)
+        assert CoverageReport.read(path) == report
+
+    def test_not_json_is_a_clear_error(self):
+        with pytest.raises(CoverageReportError, match="not valid JSON"):
+            CoverageReport.from_json("{nope")
+
+    def test_wrong_format_marker_is_a_clear_error(self):
+        with pytest.raises(CoverageReportError, match="format"):
+            CoverageReport.from_json('{"format": "lcov", "version": 1}')
+
+    def test_wrong_version_is_a_clear_error(self, report):
+        text = report.to_json().replace('"version": 1', '"version": 99')
+        with pytest.raises(CoverageReportError, match="version"):
+            CoverageReport.from_json(text)
+
+
+class TestQueries:
+    def test_filenames_and_lines(self, report):
+        assert report.filenames() == ["cloud_fraction.F90", "micro_mg.F90"]
+        assert report.executed_lines("micro_mg.F90") == [10, 12]
+        assert report.lines("micro_mg.F90") == {10: 3, 12: 1}
+        assert report.hits("micro_mg.F90", 10) == 3
+        assert report.hits("micro_mg.F90", 11) == 0
+        assert report.lines("never_run.F90") == {}
+
+    def test_totals(self, report):
+        assert report.total_lines == 3
+        assert report.total_hits == 11
+
+    def test_iteration_is_sorted(self, report):
+        assert list(report) == [
+            ("cloud_fraction.F90", 5, 7),
+            ("micro_mg.F90", 10, 3),
+            ("micro_mg.F90", 12, 1),
+        ]
+
+    def test_executed_modules_are_normalized(self, report):
+        assert report.executed_modules() == ["cloud_fraction", "micro_mg"]
+
+
+class TestSetAlgebra:
+    def test_union_sums_hits(self):
+        a = CoverageReport.from_trace(trace(("f.F90", 1, 2), ("f.F90", 2, 1)))
+        b = CoverageReport.from_trace(trace(("f.F90", 2, 5), ("g.F90", 9, 1)))
+        u = a | b
+        assert u.lines("f.F90") == {1: 2, 2: 6}
+        assert u.lines("g.F90") == {9: 1}
+
+    def test_intersect_keeps_common_lines_with_min_hits(self):
+        a = CoverageReport.from_trace(trace(("f.F90", 1, 2), ("f.F90", 2, 9)))
+        b = CoverageReport.from_trace(trace(("f.F90", 2, 5), ("g.F90", 9, 1)))
+        i = a & b
+        assert i.files == {"f.F90": {2: 5}}
+
+    def test_subtract_keeps_only_unshared_lines(self):
+        a = CoverageReport.from_trace(trace(("f.F90", 1, 2), ("f.F90", 2, 9)))
+        b = CoverageReport.from_trace(trace(("f.F90", 2, 5)))
+        d = a - b
+        assert d.files == {"f.F90": {1: 2}}
+
+    def test_variadic_forms_match_pairwise_chaining(self):
+        a = CoverageReport.from_trace(trace(("f.F90", 1, 1), ("f.F90", 2, 1)))
+        b = CoverageReport.from_trace(trace(("f.F90", 2, 1), ("f.F90", 3, 1)))
+        c = CoverageReport.from_trace(trace(("f.F90", 2, 2), ("f.F90", 4, 1)))
+        assert a.union(b, c) == (a | b) | c
+        assert a.intersect(b, c) == (a & b) & c
+        assert a.subtract(b, c) == (a - b) - c
+
+    def test_union_across_members_is_order_independent(self):
+        members = [
+            CoverageReport.from_trace(trace(("f.F90", i, i + 1), ("g.F90", 1, 1)))
+            for i in range(1, 6)
+        ]
+        forward = members[0].union(*members[1:])
+        backward = members[-1].union(*members[:-1][::-1])
+        assert forward == backward
+
+    def test_empty_report_is_identity_for_union(self):
+        empty = CoverageReport.from_trace(CoverageTrace())
+        a = CoverageReport.from_trace(trace(("f.F90", 1, 2)))
+        assert not empty
+        assert (empty | a) == a
+        assert (a | empty) == a
+        assert (a & empty).files == {}
+        assert (a - empty) == a
+
+
+class TestRestriction:
+    def test_restricted_to_module_names_and_filenames(self, report):
+        assert report.restricted_to(["micro_mg"]).filenames() == ["micro_mg.F90"]
+        assert report.restricted_to(["micro_mg.F90"]).filenames() == [
+            "micro_mg.F90"
+        ]
+        assert report.restricted_to(["MICRO_MG"]).filenames() == ["micro_mg.F90"]
+
+    def test_restricted_to_unknown_modules_is_empty_not_an_error(self, report):
+        restricted = report.restricted_to(["no_such_module", "carma_mod"])
+        assert restricted.files == {}
+        assert not restricted
+
+    def test_restriction_preserves_hits(self, report):
+        assert report.restricted_to(["cloud_fraction"]).lines(
+            "cloud_fraction.F90"
+        ) == {5: 7}
+
+
+class TestTraceEdgeCases:
+    """Satellite: CoverageTrace edge cases backing the report layer."""
+
+    def test_empty_trace_merge_is_identity(self):
+        base = trace(("f.F90", 1, 2))
+        merged = base.merged(CoverageTrace(), CoverageTrace())
+        assert merged == base
+        assert CoverageTrace().merged(base) == base
+        assert CoverageTrace().merged() == CoverageTrace()
+
+    def test_trace_restricted_to_unknown_names_is_empty(self):
+        base = trace(("f.F90", 1, 2))
+        assert base.restricted_to(["nope.F90"]).counts == {}
+        assert base.restricted_to([]).counts == {}
+
+    def test_merge_is_deterministic_under_member_reordering(self):
+        members = [
+            trace(("f.F90", i, 1), ("g.F90", 1, i)) for i in range(1, 8)
+        ]
+        forward = CoverageTrace().merged(*members)
+        backward = CoverageTrace().merged(*reversed(members))
+        assert forward == backward
+        assert (
+            CoverageReport.from_trace(forward).to_json()
+            == CoverageReport.from_trace(backward).to_json()
+        )
+
+    def test_report_from_empty_trace(self):
+        report = CoverageReport.from_trace(CoverageTrace())
+        assert report.files == {}
+        assert CoverageReport.from_json(report.to_json()) == report

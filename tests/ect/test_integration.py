@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.ect import UltraFastECT
-from repro.ensemble import EnsembleSpec, generate_ensemble
+from repro.ensemble import EnsembleSpec
 from repro.model import ModelConfig, build_model_source, list_patches
 from repro.runtime import FPConfig, run_model
 
@@ -18,8 +18,9 @@ SPEC = EnsembleSpec(n_members=30, collect_coverage=False)
 
 
 @pytest.fixture(scope="module")
-def accepted_ensemble():
-    return generate_ensemble(SPEC)
+def accepted_ensemble(accepted_ensemble_30):
+    assert accepted_ensemble_30.spec == SPEC  # shared session fixture
+    return accepted_ensemble_30
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,206 @@
+"""Execution backends: conformance, registry, selection knobs, spawn path."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import (
+    EnsembleSpec,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    generate_ensemble,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.ensemble.backends import (
+    BACKEND_ENV_VAR,
+    _model_token,
+    _WORKER_SOURCES,
+)
+from repro.model import build_model_source
+
+SMALL = EnsembleSpec(n_members=4, nsteps=1)
+
+
+@pytest.fixture(scope="module")
+def shared_source():
+    return build_model_source(SMALL.model)
+
+
+@pytest.fixture(scope="module")
+def serial_ensemble(shared_source):
+    return generate_ensemble(SMALL, source=shared_source, backend="serial")
+
+
+class TestConformance:
+    """Acceptance: every backend is bit-identical to the serial reference."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_matches_serial_bit_for_bit(
+        self, backend, shared_source, serial_ensemble
+    ):
+        ens = generate_ensemble(
+            SMALL, source=shared_source, backend=backend, max_workers=2
+        )
+        np.testing.assert_array_equal(ens.matrix, serial_ensemble.matrix)
+        assert ens.variable_names == serial_ensemble.variable_names
+        # merged coverage must be identical too — coverage is part of the
+        # artifact, not a serial-only extra
+        assert ens.coverage == serial_ensemble.coverage
+        for mine, ref in zip(ens.members, serial_ensemble.members):
+            assert mine.coverage == ref.coverage
+            assert mine.statements_executed == ref.statements_executed
+            assert mine.prng_draws == ref.prng_draws
+
+    def test_process_spawn_start_method(self, shared_source, serial_ensemble):
+        """The spawn path (workers rebuild + reparse) stays bit-identical."""
+        backend = ProcessBackend(max_workers=2, mp_context="spawn")
+        ens = generate_ensemble(SMALL, source=shared_source, backend=backend)
+        np.testing.assert_array_equal(ens.matrix, serial_ensemble.matrix)
+        assert ens.coverage == serial_ensemble.coverage
+
+    def test_backend_name_recorded_in_stats(self, serial_ensemble):
+        assert serial_ensemble.stats["backend"] == "serial"
+
+
+class TestWorkerSourceCache:
+    def test_parent_warmup_entry_is_evicted_after_the_pool(
+        self, shared_source
+    ):
+        """The fork warm-up must not pin parsed trees for the process
+        lifetime: the parent-side cache entry is scoped to the pool."""
+        token = _model_token(SMALL.model)
+        _WORKER_SOURCES.pop(token, None)
+        generate_ensemble(
+            SMALL, source=shared_source, backend="process", max_workers=2
+        )
+        assert token not in _WORKER_SOURCES
+
+    def test_preexisting_worker_cache_entry_is_restored(self, shared_source):
+        token = _model_token(SMALL.model)
+        sentinel = shared_source
+        _WORKER_SOURCES[token] = sentinel
+        try:
+            generate_ensemble(
+                SMALL, source=shared_source, backend="process", max_workers=2
+            )
+            assert _WORKER_SOURCES[token] is sentinel
+        finally:
+            _WORKER_SOURCES.pop(token, None)
+
+    def test_model_token_distinguishes_patches(self):
+        from repro.model import ModelConfig
+
+        base = _model_token(ModelConfig())
+        patched = _model_token(ModelConfig(patches=("wsubbug",)))
+        assert base != patched
+
+
+class TestRegistry:
+    def test_builtin_backends_listed(self):
+        assert {"serial", "thread", "process"} <= set(list_backends())
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("thread"), ThreadBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+
+    def test_get_backend_passthrough_instance(self):
+        backend = ThreadBackend(max_workers=2)
+        assert get_backend(backend) is backend
+
+    def test_max_workers_cannot_silently_override_an_instance(self):
+        backend = ThreadBackend(max_workers=2)
+        with pytest.raises(ValueError, match="max_workers"):
+            get_backend(backend, max_workers=4)
+
+    def test_unknown_backend_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            get_backend("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("serial", lambda max_workers=None: SerialBackend())
+
+    def test_custom_backend_registers_and_runs(self, shared_source):
+        class CountingSerial(SerialBackend):
+            name = "counting-serial"
+            calls = 0
+
+            def run_members(self, source, jobs):
+                type(self).calls += len(jobs)
+                yield from super().run_members(source, jobs)
+
+        try:
+            register_backend(
+                "counting-serial", lambda max_workers=None: CountingSerial()
+            )
+            ens = generate_ensemble(
+                SMALL, source=shared_source, backend="counting-serial"
+            )
+            assert ens.n_members == 4
+            assert CountingSerial.calls == 4
+        finally:
+            from repro.ensemble import backends as mod
+
+            mod._BACKENDS.pop("counting-serial", None)
+
+
+class TestSelectionKnobs:
+    def test_spec_backend_field_selects(self, shared_source):
+        import dataclasses
+
+        spec = dataclasses.replace(SMALL, backend="serial")
+        ens = generate_ensemble(spec, source=shared_source)
+        assert ens.stats["backend"] == "serial"
+
+    def test_argument_overrides_spec(self, shared_source):
+        import dataclasses
+
+        spec = dataclasses.replace(SMALL, backend="thread")
+        ens = generate_ensemble(spec, source=shared_source, backend="serial")
+        assert ens.stats["backend"] == "serial"
+
+    def test_environment_variable_is_the_fallback(
+        self, shared_source, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        ens = generate_ensemble(SMALL, source=shared_source)
+        assert ens.stats["backend"] == "serial"
+
+    def test_environment_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(get_backend(None), ThreadBackend)
+
+    def test_spec_backend_does_not_change_member_configs(self):
+        import dataclasses
+
+        spec = dataclasses.replace(SMALL, backend="process")
+        assert spec.member_configs() == SMALL.member_configs()
+
+
+class TestBackendCacheInterplay:
+    def test_process_misses_fill_cache_for_serial_hits(
+        self, shared_source, tmp_path
+    ):
+        cold = generate_ensemble(
+            SMALL,
+            source=shared_source,
+            cache_dir=tmp_path,
+            backend="process",
+            max_workers=2,
+        )
+        assert cold.cache_misses == 4 and cold.cache_hits == 0
+        warm = generate_ensemble(
+            SMALL, source=shared_source, cache_dir=tmp_path, backend="serial"
+        )
+        assert warm.cache_hits == 4 and warm.cache_misses == 0
+        np.testing.assert_array_equal(warm.matrix, cold.matrix)
+        assert warm.coverage == cold.coverage
+
+
+def test_execution_backend_is_abstract():
+    with pytest.raises(TypeError):
+        ExecutionBackend()

@@ -139,6 +139,41 @@ class TestDiskCache:
         other = SMALL.member_config(1)
         assert member_cache_key(shared_source, other) != base
 
+    def test_key_covers_every_fp_and_coverage_knob(self, shared_source):
+        """Regression: a cache hit must never cross numerically (FPConfig)
+        or observationally (coverage-enablement) distinct configurations."""
+        import dataclasses
+
+        from repro.runtime import FPConfig
+
+        config = SMALL.member_config(0)
+        keys = {member_cache_key(shared_source, config)}
+
+        def add(**overrides):
+            variant = dataclasses.replace(config, **overrides)
+            key = member_cache_key(shared_source, variant)
+            assert key not in keys, f"key collision for {overrides!r}"
+            keys.add(key)
+
+        add(fp=FPConfig(fma=True))
+        # FMA nowhere (empty set) and FMA everywhere (None) are different
+        # builds and must hash differently even though both have fma=True
+        add(fp=FPConfig(fma=True, fma_modules=frozenset()))
+        add(fp=FPConfig(fma=True, fma_modules=frozenset({"micro_mg"})))
+        add(fp=FPConfig(flush_to_zero=True))
+        add(collect_coverage=False)
+        add(max_statements=123_456)
+
+    def test_fp_token_tracks_every_fpconfig_field(self):
+        """A field added to FPConfig must flow into the hash automatically."""
+        import dataclasses
+
+        from repro.ensemble.cache import _fp_token
+        from repro.runtime import FPConfig
+
+        token = _fp_token(FPConfig())
+        assert set(token) == {f.name for f in dataclasses.fields(FPConfig)}
+
     def test_corrupt_cache_entry_falls_back_to_running(
         self, shared_source, tmp_path
     ):

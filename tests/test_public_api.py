@@ -20,6 +20,8 @@ IMPLEMENTED_MODULES = {
     "repro.runtime",
     "repro.ensemble",
     "repro.ect",
+    "repro.coverage",
+    "repro.slicing",
 }
 
 IMPLEMENTED = sorted(
