@@ -70,10 +70,22 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     # slicing / analysis / refinement
     "backward_slice": ("repro.slicing", "backward_slice"),
     "slice_failing_runs": ("repro.slicing", "slice_failing_runs"),
+    "variable_weights": ("repro.slicing", "variable_weights"),
     "RankedSlice": ("repro.slicing", "RankedSlice"),
+    "QuotientGraph": ("repro.analysis", "QuotientGraph"),
+    "quotient_graph": ("repro.analysis", "quotient_graph"),
+    "CommunityResult": ("repro.analysis", "CommunityResult"),
     "girvan_newman_communities": ("repro.analysis", "girvan_newman_communities"),
+    "modularity": ("repro.analysis", "modularity"),
+    "degree_centrality": ("repro.analysis", "degree_centrality"),
+    "betweenness_centrality": ("repro.analysis", "betweenness_centrality"),
+    "closeness_centrality": ("repro.analysis", "closeness_centrality"),
     "eigenvector_in_centrality": ("repro.analysis", "eigenvector_in_centrality"),
+    "degree_stats": ("repro.analysis", "degree_stats"),
     "IterativeRefinement": ("repro.refine", "IterativeRefinement"),
+    "RefinementConfig": ("repro.refine", "RefinementConfig"),
+    "RefinementResult": ("repro.refine", "RefinementResult"),
+    "refine_slice": ("repro.refine", "refine_slice"),
     # experiments / pipeline
     "get_experiment": ("repro.experiments", "get_experiment"),
     "list_experiments": ("repro.experiments", "list_experiments"),

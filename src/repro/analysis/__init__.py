@@ -1,0 +1,69 @@
+"""repro.analysis — module-level graph analysis (paper §5.1-5.2, Table 1).
+
+The refinement stage of the paper works on the *quotient* of the variable
+metagraph: one node per Fortran module.  This package supplies everything
+Algorithm 5.4 consumes from that graph:
+
+``quotient_graph(metagraph) -> QuotientGraph``
+    Collapse a :class:`~repro.graphs.MetaGraph` to its weighted module
+    graph (edge weight = number of cross-module variable dependencies).
+``girvan_newman_communities(graph) -> CommunityResult``
+    Girvan-Newman edge-betweenness community detection with per-level
+    modularity tracking; ``result.communities`` is the modularity-optimal
+    partition Algorithm 5.4 samples candidate scopes from.
+``degree_centrality`` / ``betweenness_centrality`` / ``closeness_centrality``
+/ ``eigenvector_in_centrality``
+    Module rankings; the eigenvector centrality of the incoming adjacency
+    is the paper's "where does computation accumulate" ordering.
+``degree_stats`` / ``degree_distribution``
+    The Table 1 summary row and the raw degree histograms.
+
+Everything accepts either a :class:`QuotientGraph` or a raw
+:class:`~repro.graphs.MetaGraph` (collapsed on the fly), is pure Python,
+and is deterministic — ties break lexicographically, never by hash order.
+
+>>> from repro.analysis import girvan_newman_communities, quotient_graph
+>>> from repro.graphs import build_metagraph
+>>> from repro.model import ModelConfig, build_model_source
+>>> q = quotient_graph(build_metagraph(build_model_source(ModelConfig())))
+>>> result = girvan_newman_communities(q)
+>>> result.community_of("micro_mg") == result.community_of("microp_aero")
+True
+"""
+
+from __future__ import annotations
+
+from .centrality import (
+    DegreeStats,
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    degree_distribution,
+    degree_stats,
+    eigenvector_in_centrality,
+)
+from .communities import (
+    CommunityLevel,
+    CommunityResult,
+    edge_betweenness,
+    girvan_newman_communities,
+    modularity,
+)
+from .quotient import QuotientGraph, quotient_graph
+
+__all__ = [
+    "CommunityLevel",
+    "CommunityResult",
+    "DegreeStats",
+    "QuotientGraph",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "degree_centrality",
+    "degree_distribution",
+    "degree_stats",
+    "edge_betweenness",
+    "eigenvector_in_centrality",
+    "girvan_newman_communities",
+    "modularity",
+    "quotient_graph",
+]

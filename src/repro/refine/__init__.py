@@ -1,0 +1,49 @@
+"""repro.refine — Algorithm 5.4 iterative slice refinement (paper §5.4).
+
+The last reduction stage of the root-cause pipeline: take the ranked
+backward slice (below half the modules, but plateaued), partition the
+module quotient graph into communities, and iteratively *test* candidate
+scope subsets against scoped consistency tests on a small regenerated
+accepted ensemble — pruning every scope whose exclusion leaves the failure
+signal intact, keeping the ones the signal collapses without.
+
+>>> from repro.ensemble import generate_ensemble
+>>> from repro.ect import UltraFastECT
+>>> from repro.model import ModelConfig
+>>> from repro.runtime import RunConfig, run_model
+>>> from repro.slicing import slice_failing_runs
+>>> from repro.refine import refine_slice
+>>> ens = generate_ensemble(n=30)
+>>> bad = ModelConfig(patches=("wsubbug",))
+>>> runs = [run_model(ens.spec.experimental_config(i, model=bad))
+...         for i in range(3)]
+>>> verdict = UltraFastECT(ens).test(runs)       # inconsistent
+>>> sl = slice_failing_runs(ens, runs, ect_result=verdict)
+>>> result = refine_slice(sl, ens, runs)
+>>> "microp_aero" in result and len(result) <= 10
+True
+
+:class:`IterativeRefinement` is the fitted object (control graph,
+communities, refinement ensemble) for refining many slices;
+:func:`refine_slice` the one-shot wrapper; :class:`RefinementConfig` the
+knobs; :class:`RefinementResult` the refined module set plus the full
+iteration trajectory.
+"""
+
+from __future__ import annotations
+
+from .algorithm import (
+    IterativeRefinement,
+    RefinementConfig,
+    RefinementResult,
+    RefinementStep,
+    refine_slice,
+)
+
+__all__ = [
+    "IterativeRefinement",
+    "RefinementConfig",
+    "RefinementResult",
+    "RefinementStep",
+    "refine_slice",
+]

@@ -1,0 +1,544 @@
+"""Algorithm 5.4: community-guided iterative refinement of a ranked slice.
+
+The backward slice (:mod:`repro.slicing`) reduces the search space below
+half the modules, but it plateaus there: chaotic error growth makes every
+output variable deviate eventually, so reachability alone cannot tell a
+culprit from a conduit.  The paper's answer is iterative refinement — keep
+*testing* candidate scope subsets against the consistency test and discard
+the ones the failure signal does not need:
+
+1.  Partition the module quotient graph into communities (Girvan-Newman,
+    :mod:`repro.analysis`) — scopes in one community share data tightly and
+    are exonerated or retained together.
+2.  Regenerate a *small* accepted ensemble (a deterministic prefix of the
+    full one, so the content-addressed artifact cache makes per-iteration
+    regeneration nearly free) and re-derive the per-variable deviation
+    evidence from it.
+3.  Iterate: sample a candidate scope subset from the weakest-evidence
+    community chunk, project ensemble and experimental runs onto the output
+    variables still attributable to the *remaining* suspects, and re-run
+    the ECT on that scoped view.  If the verdict is still inconsistent —
+    the failure signal is intact without the candidate — the candidate is
+    exonerated and pruned; if the signal collapses, the candidate is
+    essential and stays for good.
+4.  Stop at the target size, on convergence, or at the iteration cap.
+
+Scopes sitting within ``slack`` BFS levels of the strongest evidence
+variables (the broken invariants / gross outliers) are *protected*: they
+are what the sharpest part of the signal points at, and Algorithm 5.4 never
+samples them for exclusion.  This is what lets refinement rescue a bug
+module that diffuse chaotic evidence ranked low — e.g. the biased PRNG of
+``rand-mt`` sits at depth 2 behind the ``RHPERT`` raw-draw diagnostic and
+survives even though half the physics outranks it in the initial slice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis import CommunityResult, girvan_newman_communities, quotient_graph
+from ..ect import EctConfig, EctResult, UltraFastECT
+from ..ensemble import Ensemble, generate_ensemble
+from ..ensemble.generate import FIRST_SUFFIX
+from ..graphs import MetaGraph, build_metagraph
+from ..slicing import RankedSlice, slice_failing_runs, variable_weights
+
+__all__ = [
+    "IterativeRefinement",
+    "RefinementConfig",
+    "RefinementResult",
+    "RefinementStep",
+    "refine_slice",
+]
+
+
+@dataclass(frozen=True)
+class RefinementConfig:
+    """Knobs of Algorithm 5.4 (defaults tuned on the five paper patches)."""
+
+    #: refinement-ensemble size: a deterministic prefix of the accepted
+    #: ensemble's members (16 is the smallest that still detects every
+    #: registered patch), regenerated through the backend registry
+    members: int = 16
+    #: stop pruning once the suspect set is at most this fraction of all
+    #: graph modules (0.25 of 40 modules = the paper-scale 10-module bar)
+    target_fraction: float = 0.25
+    #: protection radius, in BFS levels: suspects within ``slack`` of a
+    #: top evidence variable's seed nodes are never sampled for exclusion
+    slack: int = 2
+    #: number of strongest evidence variables whose neighbourhood is
+    #: protected from exclusion sampling
+    top_variables: int = 4
+    #: number of deviating output variables carried as refinement evidence
+    evidence_variables: int = 12
+    #: maximum scopes sampled into one exclusion candidate (Algorithm 5.4's
+    #: subset sampling width)
+    sample_size: int = 4
+    #: hard cap on exclusion tests per refinement
+    max_iterations: int = 64
+    #: per-BFS-level evidence attenuation (matches the slicer's default)
+    decay: float = 0.5
+    #: seed of the candidate-sampling PRNG — the only stochastic input, so
+    #: one seed fixes the whole refinement trajectory
+    seed: int = 1729
+    #: configuration of the scoped consistency tests (None = ECT defaults)
+    ect: Optional[EctConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.members < 3:
+            raise ValueError(
+                f"refinement ensembles need >= 3 members, got {self.members}"
+            )
+        if not 0.0 < self.target_fraction <= 1.0:
+            raise ValueError(
+                f"target_fraction must be in (0, 1], got {self.target_fraction}"
+            )
+        if self.slack < 0:
+            raise ValueError(f"slack must be >= 0, got {self.slack}")
+        if self.sample_size < 1:
+            raise ValueError(
+                f"sample_size must be >= 1, got {self.sample_size}"
+            )
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+        if self.top_variables < 1 or self.evidence_variables < 1:
+            raise ValueError("variable counts must be >= 1")
+
+
+@dataclass(frozen=True)
+class RefinementStep:
+    """One exclusion test: the candidate, the scoped verdict, the action."""
+
+    iteration: int
+    #: scopes sampled for exclusion this iteration
+    candidate: tuple[str, ...]
+    #: the community chunk the candidate was sampled from
+    community: tuple[str, ...]
+    #: evidence variables still attributable to the remaining suspects
+    kept_variables: tuple[str, ...]
+    #: scoped ECT verdict on the kept variables (None = nothing testable)
+    consistent: Optional[bool]
+    #: ``"pruned"`` (signal intact without the candidate) or ``"essential"``
+    action: str
+
+
+@dataclass
+class RefinementResult:
+    """The refined suspect set plus the full refinement trajectory."""
+
+    #: final suspect scopes, strongest evidence first
+    modules: list[str]
+    #: the slice the refinement started from
+    initial_modules: list[str]
+    #: scopes shielded from exclusion by top-evidence proximity
+    protected: frozenset[str]
+    #: scopes whose exclusion collapsed the failure signal
+    essential: frozenset[str]
+    steps: list[RefinementStep]
+    #: refreshed per-module evidence scores (refinement-ensemble based)
+    scores: dict[str, float]
+    #: refreshed per-variable deviation weights
+    variable_weights: dict[str, float]
+    communities: CommunityResult
+    #: baseline verdict of the refinement ensemble on the failing runs
+    #: (None when the ensemble had nothing testable to fit on)
+    verdict: Optional[EctResult]
+    target: int
+    total_modules: int
+    ensemble_cache_hits: int = 0
+    ensemble_cache_misses: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __contains__(self, module: str) -> bool:
+        return module in self.modules
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.steps)
+
+    @property
+    def fraction(self) -> float:
+        """Final suspect set as a fraction of all graph modules."""
+        return len(self.modules) / self.total_modules if self.total_modules else 0.0
+
+    @property
+    def pruned(self) -> list[str]:
+        """Scopes the refinement exonerated, sorted."""
+        return sorted(set(self.initial_modules) - set(self.modules))
+
+    def summary(self) -> str:
+        head = ", ".join(self.modules[:6])
+        return (
+            f"RefinementResult({len(self.initial_modules)} -> "
+            f"{len(self.modules)}/{self.total_modules} modules in "
+            f"{self.n_iterations} iterations: {head}"
+            f"{'...' if len(self.modules) > 6 else ''})"
+        )
+
+
+class IterativeRefinement:
+    """Algorithm 5.4, fitted once and applicable to many failing slices.
+
+    Construction builds (or accepts) the control metagraph, its quotient
+    communities, and the small refinement ensemble — regenerated through
+    the pluggable backend registry, with ``cache_dir`` giving the
+    per-iteration artifact caching that makes repeated refinement cheap
+    (the refinement members are a deterministic prefix of the accepted
+    ensemble's, so a shared cache directory satisfies them instantly).
+
+    :meth:`refine` then runs the sampling loop for one
+    :class:`~repro.slicing.RankedSlice` and its ECT-failing runs.
+    """
+
+    def __init__(
+        self,
+        ensemble: Ensemble,
+        *,
+        config: Optional[RefinementConfig] = None,
+        source=None,
+        graph: Optional[MetaGraph] = None,
+        communities: Optional[CommunityResult] = None,
+        backend=None,
+        cache_dir=None,
+        max_workers: Optional[int] = None,
+    ):
+        self.config = config or RefinementConfig()
+        self.accepted = ensemble
+        if source is None:
+            from ..model.builder import build_model_source
+
+            source = build_model_source(ensemble.spec.model)
+        self.source = source
+        self.graph = graph if graph is not None else build_metagraph(source)
+        self.quotient = quotient_graph(self.graph)
+        self.communities = (
+            communities
+            if communities is not None
+            else girvan_newman_communities(self.quotient)
+        )
+        spec = dataclasses.replace(
+            ensemble.spec, n_members=self.config.members
+        )
+        #: the small accepted ensemble the scoped tests are fitted on
+        self.ensemble = generate_ensemble(
+            spec,
+            source=source,
+            backend=backend,
+            cache_dir=cache_dir,
+            max_workers=max_workers,
+        )
+        self._ect_cache: dict[frozenset[str], Optional[UltraFastECT]] = {}
+
+    # ------------------------------------------------------------ scoping
+    def _columns(self, bases: frozenset[str]) -> list[int]:
+        return [
+            j
+            for j, name in enumerate(self.ensemble.variable_names)
+            if name.replace(FIRST_SUFFIX, "") in bases
+        ]
+
+    def scoped_ect(self, variables: Sequence[str]) -> Optional[UltraFastECT]:
+        """An ECT fitted on the ensemble columns of ``variables`` only.
+
+        Each base name brings its ``@first`` twin.  Returns ``None`` when
+        the scope has no testable columns (no names matched, or the
+        submatrix carries no variance at all).
+        """
+        bases = frozenset(
+            name.replace(FIRST_SUFFIX, "") for name in variables
+        )
+        if bases in self._ect_cache:
+            return self._ect_cache[bases]
+        columns = self._columns(bases)
+        ect: Optional[UltraFastECT] = None
+        if columns:
+            scoped = SimpleNamespace(
+                matrix=self.ensemble.matrix[:, columns],
+                variable_names=[
+                    self.ensemble.variable_names[j] for j in columns
+                ],
+            )
+            try:
+                ect = UltraFastECT(scoped, self.config.ect)
+            except ValueError:
+                ect = None  # scope has no variance to decompose
+        self._ect_cache[bases] = ect
+        return ect
+
+    def scoped_verdict(
+        self,
+        variables: Sequence[str],
+        vectors: Sequence[np.ndarray],
+    ) -> Optional[EctResult]:
+        """ECT verdict of full run ``vectors`` projected onto ``variables``."""
+        ect = self.scoped_ect(variables)
+        if ect is None:
+            return None
+        bases = frozenset(
+            name.replace(FIRST_SUFFIX, "") for name in variables
+        )
+        columns = self._columns(bases)
+        return ect.test([vector[columns] for vector in vectors])
+
+    # ---------------------------------------------------------- refinement
+    def refine(
+        self,
+        slice_: RankedSlice,
+        runs: Sequence,
+        *,
+        coverage=None,
+    ) -> RefinementResult:
+        """Shrink ``slice_`` by iterative exclusion testing (Algorithm 5.4).
+
+        ``runs`` are the ECT-failing experimental runs the slice was built
+        from; ``coverage`` the executed-line evidence of the failing
+        configuration (falls back to the runs' merged traces, like the
+        slicer).  Deterministic for a fixed :class:`RefinementConfig`.
+        """
+        config = self.config
+        total = len(self.graph.modules())
+        target = max(1, math.floor(config.target_fraction * total))
+
+        # refreshed evidence from the refinement ensemble: weights first,
+        # then one slicer pass over exactly the top evidence variables
+        # (the `variables=` injection point) for scores + depths
+        all_weights = variable_weights(self.ensemble, runs)
+        evidence = [
+            name
+            for name, _ in sorted(
+                all_weights.items(), key=lambda kv: (-kv[1], kv[0])
+            )[: config.evidence_variables]
+        ]
+        ranked = slice_failing_runs(
+            self.ensemble,
+            runs,
+            graph=self.graph,
+            source=self.source,
+            coverage=coverage,
+            decay=config.decay,
+            variables=evidence,
+        )
+        weights = ranked.variable_weights
+        depths = {
+            name: sl.module_depths() for name, sl in ranked.slices.items()
+        }
+        scores = dict(ranked.ranking)
+
+        vectors = [self.ensemble.run_vector(run) for run in runs]
+        baseline = self.scoped_verdict(
+            [n.replace(FIRST_SUFFIX, "") for n in self.ensemble.variable_names],
+            vectors,
+        )
+
+        suspects = set(slice_.modules)
+        initial = list(slice_.modules)
+        protected = self._protected(weights, depths, suspects)
+        steps: list[RefinementStep] = []
+
+        if baseline is None or baseline.consistent:
+            # the refinement ensemble cannot even see the failure: refuse
+            # to prune anything on no evidence
+            return self._result(
+                suspects, initial, protected, frozenset(), steps, scores,
+                weights, baseline, target, total,
+            )
+
+        essential: set[str] = set()
+        rng = random.Random(config.seed)
+
+        progress = True
+        while (
+            len(suspects) > target
+            and progress
+            and len(steps) < config.max_iterations
+        ):
+            progress = False
+            for chunk in self._chunks(suspects, scores):
+                removable = sorted(
+                    (m for m in chunk if m not in essential and m not in protected),
+                    key=lambda m: (scores.get(m, 0.0), m),
+                )
+                if not removable:
+                    continue
+                candidate = self._sample(rng, removable)
+                remaining = suspects - set(candidate)
+                kept = self._attributed(weights, depths, remaining)
+                scoped = (
+                    self.scoped_verdict(kept, vectors) if kept else None
+                )
+                intact = scoped is not None and not scoped.consistent
+                steps.append(
+                    RefinementStep(
+                        iteration=len(steps),
+                        candidate=tuple(candidate),
+                        community=tuple(sorted(chunk)),
+                        kept_variables=tuple(kept),
+                        consistent=None if scoped is None else scoped.consistent,
+                        action="pruned" if intact else "essential",
+                    )
+                )
+                if intact:
+                    suspects = remaining
+                    progress = True
+                    break  # re-chunk against the shrunk suspect set
+                essential.update(candidate)
+                if len(steps) >= config.max_iterations:
+                    break
+
+        return self._result(
+            suspects, initial, protected, frozenset(essential), steps,
+            scores, weights, baseline, target, total,
+        )
+
+    # ------------------------------------------------------------- helpers
+    def _protected(
+        self,
+        weights: dict[str, float],
+        depths: dict[str, dict[str, int]],
+        suspects: set[str],
+    ) -> frozenset[str]:
+        """Suspects within ``slack`` of a top evidence variable's seeds."""
+        top = [
+            name
+            for name, _ in sorted(
+                weights.items(), key=lambda kv: (-kv[1], kv[0])
+            )[: self.config.top_variables]
+        ]
+        out: set[str] = set()
+        for name in top:
+            for module, depth in depths.get(name, {}).items():
+                if module in suspects and depth <= self.config.slack:
+                    out.add(module)
+        return frozenset(out)
+
+    def _attributed(
+        self,
+        weights: dict[str, float],
+        depths: dict[str, dict[str, int]],
+        suspects: set[str],
+    ) -> list[str]:
+        """Evidence variables still attributable to ``suspects`` — their
+        coverage-filtered backward slice reaches at least one remaining
+        suspect (strongest weight first).  Variables attributable to no
+        suspect cannot discriminate between candidates and drop out of the
+        scoped tests."""
+        return [
+            name
+            for name, _ in sorted(
+                weights.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            if any(module in suspects for module in depths.get(name, ()))
+        ]
+
+    def _chunks(
+        self, suspects: set[str], scores: dict[str, float]
+    ) -> list[frozenset[str]]:
+        """Current suspects grouped by community, weakest evidence first."""
+        grouped: dict[frozenset[str], set[str]] = {}
+        for module in suspects:
+            try:
+                community = self.communities.community_of(module)
+            except KeyError:
+                community = frozenset((module,))
+            grouped.setdefault(community, set()).add(module)
+        chunks = [frozenset(members) for members in grouped.values()]
+        # sum in sorted member order: float addition is order-sensitive,
+        # and frozenset iteration order varies with PYTHONHASHSEED
+        chunks.sort(
+            key=lambda c: (
+                sum(scores.get(m, 0.0) for m in sorted(c)),
+                sorted(c)[0],
+            )
+        )
+        return chunks
+
+    def _sample(
+        self, rng: random.Random, removable: list[str]
+    ) -> list[str]:
+        """Sample an exclusion candidate from the weak half of a chunk.
+
+        ``removable`` arrives sorted by ascending evidence score; the
+        candidate is a seeded-random subset of its weaker half (Algorithm
+        5.4's subset sampling), returned sorted for determinism.
+        """
+        k = min(self.config.sample_size, len(removable))
+        pool = removable[: max(k, (len(removable) + 1) // 2)]
+        return sorted(rng.sample(pool, k))
+
+    def _result(
+        self,
+        suspects: set[str],
+        initial: list[str],
+        protected: frozenset[str],
+        essential: frozenset[str],
+        steps: list[RefinementStep],
+        scores: dict[str, float],
+        weights: dict[str, float],
+        verdict: Optional[EctResult],
+        target: int,
+        total: int,
+    ) -> RefinementResult:
+        modules = sorted(
+            suspects, key=lambda m: (-scores.get(m, 0.0), m)
+        )
+        return RefinementResult(
+            modules=modules,
+            initial_modules=initial,
+            protected=protected,
+            essential=essential,
+            steps=steps,
+            scores={m: scores.get(m, 0.0) for m in modules},
+            variable_weights=dict(weights),
+            communities=self.communities,
+            verdict=verdict,
+            target=target,
+            total_modules=total,
+            ensemble_cache_hits=self.ensemble.cache_hits,
+            ensemble_cache_misses=self.ensemble.cache_misses,
+        )
+
+
+def refine_slice(
+    slice_: RankedSlice,
+    ensemble: Ensemble,
+    runs: Sequence,
+    *,
+    config: Optional[RefinementConfig] = None,
+    graph: Optional[MetaGraph] = None,
+    source=None,
+    coverage=None,
+    communities: Optional[CommunityResult] = None,
+    backend=None,
+    cache_dir=None,
+    max_workers: Optional[int] = None,
+) -> RefinementResult:
+    """One-shot Algorithm 5.4: fit :class:`IterativeRefinement` and refine.
+
+    Parameters mirror :func:`~repro.slicing.slice_failing_runs` —
+    ``ensemble`` is the accepted ensemble (its spec seeds the small
+    refinement ensemble), ``runs`` the ECT-failing experimental runs,
+    ``coverage`` the failing configuration's executed-line evidence.
+    ``backend`` / ``cache_dir`` flow into the refinement-ensemble
+    regeneration through the standard backend registry and artifact cache.
+    """
+    refiner = IterativeRefinement(
+        ensemble,
+        config=config,
+        source=source,
+        graph=graph,
+        communities=communities,
+        backend=backend,
+        cache_dir=cache_dir,
+        max_workers=max_workers,
+    )
+    return refiner.refine(slice_, runs, coverage=coverage)

@@ -34,6 +34,7 @@ from .backward import (
     RankedSlice,
     backward_slice,
     slice_failing_runs,
+    variable_weights,
 )
 from .seeds import module_file_map, output_field_seeds
 
@@ -44,4 +45,5 @@ __all__ = [
     "module_file_map",
     "output_field_seeds",
     "slice_failing_runs",
+    "variable_weights",
 ]

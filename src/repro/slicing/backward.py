@@ -40,7 +40,13 @@ import numpy as np
 from ..graphs.metagraph import MetaGraph, NodeKey
 from .seeds import module_file_map, output_field_seeds
 
-__all__ = ["BackwardSlice", "RankedSlice", "backward_slice", "slice_failing_runs"]
+__all__ = [
+    "BackwardSlice",
+    "RankedSlice",
+    "backward_slice",
+    "slice_failing_runs",
+    "variable_weights",
+]
 
 #: z-score assigned to a violated bit-invariant channel (sd == 0 but the
 #: experimental value moved): far above any finite spread, below overflow
@@ -212,13 +218,22 @@ class RankedSlice:
         )
 
 
-def _variable_weights(
+def variable_weights(
     ensemble,
     runs: Sequence,
-    failing: Optional[Iterable[str]],
+    failing: Optional[Iterable[str]] = None,
 ) -> dict[str, float]:
     """Log-damped z-score per output field: how far outside the accepted
-    distribution the experimental runs fall, invariants dominating."""
+    distribution the experimental runs fall, invariants dominating.
+
+    The evidence layer shared by :func:`slice_failing_runs` and the
+    refinement stage (:mod:`repro.refine`): every output field whose
+    experimental values deviate gets a weight ``log1p(Σ z)``, where a
+    violated bit-invariant column (ensemble spread exactly zero but the
+    experimental value moved) counts as a fixed huge z so it dominates
+    any finite spread.  ``failing``, when given, restricts the result to
+    those field names (``@first`` suffixes are normalized away).
+    """
     names = ensemble.variable_names
     mean = ensemble.mean()
     sd = ensemble.std()
@@ -257,6 +272,7 @@ def slice_failing_runs(
     top_k: int = 8,
     decay: float = 0.5,
     max_module_fraction: float = 0.45,
+    variables: Optional[Sequence[str]] = None,
 ) -> RankedSlice:
     """The hybrid backward slice for a set of ECT-failing runs.
 
@@ -289,6 +305,14 @@ def slice_failing_runs(
     max_module_fraction:
         Hard cap on the slice size as a fraction of all graph modules
         (default 0.45 — the acceptance bar is "below half the modules").
+    variables:
+        Explicit affected-variable override.  When given, the internal
+        top-k most-deviant-variable heuristic (and the ``ect_result``
+        seed filter) is bypassed and exactly these output fields are
+        sliced from, each weighted by its own deviation evidence
+        (``@first`` suffixes are normalized; fields with no deviation or
+        no seed nodes contribute nothing).  This is the injection point
+        for :mod:`repro.refine` and the future ``repro.selection`` stage.
     """
     if not runs:
         raise ValueError("slice_failing_runs needs at least one failing run")
@@ -319,11 +343,24 @@ def slice_failing_runs(
     module_files = module_file_map(source)
     seed_map = output_field_seeds(source, graph)
 
-    failing = (
-        list(ect_result.failing_variables) if ect_result is not None else None
-    )
-    weights = _variable_weights(ensemble, runs, failing)
-    top = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+    if variables is not None:
+        weights = variable_weights(ensemble, runs, None)
+        requested: list[str] = []
+        for name in variables:
+            base = name.replace("@first", "")
+            if base not in requested:
+                requested.append(base)
+        top = [
+            (name, weights[name]) for name in requested if weights.get(name)
+        ]
+    else:
+        failing = (
+            list(ect_result.failing_variables)
+            if ect_result is not None
+            else None
+        )
+        weights = variable_weights(ensemble, runs, failing)
+        top = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
 
     scores: dict[str, float] = {}
     slices: dict[str, BackwardSlice] = {}

@@ -1,0 +1,17 @@
+"""Shared control-model graph fixtures for the analysis suite."""
+
+import pytest
+
+from repro.analysis import quotient_graph
+from repro.graphs import build_metagraph
+from repro.model import ModelConfig, build_model_source
+
+
+@pytest.fixture(scope="package")
+def control_graph():
+    return build_metagraph(build_model_source(ModelConfig()))
+
+
+@pytest.fixture(scope="package")
+def control_quotient(control_graph):
+    return quotient_graph(control_graph)

@@ -1,0 +1,120 @@
+"""Centralities match their closed forms on canonical small graphs."""
+
+import pytest
+
+from repro.analysis import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    degree_distribution,
+    degree_stats,
+    eigenvector_in_centrality,
+    QuotientGraph,
+)
+
+
+def star(n_leaves: int = 4) -> QuotientGraph:
+    q = QuotientGraph()
+    for i in range(n_leaves):
+        q.add_edge("hub", f"leaf{i}")
+    return q
+
+
+def cycle(names=("a", "b", "c")) -> QuotientGraph:
+    q = QuotientGraph()
+    for i, name in enumerate(names):
+        q.add_edge(name, names[(i + 1) % len(names)])
+    return q
+
+
+def test_degree_centrality_star():
+    scores = degree_centrality(star(4))
+    assert scores["hub"] == pytest.approx(1.0)
+    for i in range(4):
+        assert scores[f"leaf{i}"] == pytest.approx(0.25)
+
+
+def test_betweenness_centrality_star():
+    scores = betweenness_centrality(star(4))
+    # every leaf pair's unique shortest path crosses the hub
+    assert scores["hub"] == pytest.approx(1.0)
+    assert all(scores[f"leaf{i}"] == 0.0 for i in range(4))
+
+
+def test_betweenness_centrality_path():
+    q = QuotientGraph()
+    q.add_edge("a", "b")
+    q.add_edge("b", "c")
+    scores = betweenness_centrality(q)
+    assert scores["b"] == pytest.approx(1.0)
+    assert scores["a"] == scores["c"] == 0.0
+
+
+def test_closeness_centrality_star_and_disconnected():
+    scores = closeness_centrality(star(4))
+    assert scores["hub"] == pytest.approx(1.0)
+    assert all(
+        scores[f"leaf{i}"] == pytest.approx(4 / 7) for i in range(4)
+    )
+    q = star(2)
+    q.add_node("isolated")
+    scores = closeness_centrality(q)
+    assert scores["isolated"] == 0.0
+    # Wasserman-Faust: scaled by the reachable fraction (2 of 3 peers)
+    assert scores["hub"] == pytest.approx((2 / 3) * (2 / 2))
+
+
+def test_eigenvector_in_centrality_cycle_is_uniform():
+    scores = eigenvector_in_centrality(cycle())
+    assert all(v == pytest.approx(1.0) for v in scores.values())
+
+
+def test_eigenvector_in_centrality_dag_falls_back_to_in_weight():
+    q = QuotientGraph()
+    q.add_edge("a", "sink", 3.0)
+    q.add_edge("b", "sink", 1.0)
+    q.add_edge("a", "b", 1.0)
+    scores = eigenvector_in_centrality(q)
+    # nilpotent adjacency: the power iteration collapses, the weighted
+    # in-degree ranking takes over (sink: 4, b: 1, a: 0)
+    assert scores["sink"] == pytest.approx(1.0)
+    assert scores["b"] == pytest.approx(0.25)
+    assert scores["a"] == 0.0
+
+
+def test_degree_distribution_counts_every_node():
+    dists = degree_distribution(star(4))
+    assert sum(dists["undirected"].values()) == 5
+    assert dists["out"][4] == 1  # the hub
+    assert dists["in"][0] == 1
+
+
+def test_degree_stats_small_graph():
+    stats = degree_stats(star(4))
+    assert stats.n_modules == 5
+    assert stats.n_edges == 4
+    assert stats.max_out_degree == 4
+    assert stats.density == pytest.approx(4 / 20)
+
+
+def test_real_model_centralities_are_normalized(control_quotient):
+    n = control_quotient.node_count
+    for fn in (
+        degree_centrality,
+        betweenness_centrality,
+        closeness_centrality,
+        eigenvector_in_centrality,
+    ):
+        scores = fn(control_quotient)
+        assert set(scores) == set(control_quotient.nodes)
+        assert all(0.0 <= v <= 1.0 + 1e-12 for v in scores.values())
+    stats = degree_stats(control_quotient)
+    assert stats.n_modules == n
+    assert stats.n_edges == control_quotient.edge_count
+    assert 0.0 < stats.density < 1.0
+
+
+def test_metagraph_is_collapsed_automatically(control_graph, control_quotient):
+    from_meta = degree_stats(control_graph)
+    from_quotient = degree_stats(control_quotient)
+    assert from_meta == from_quotient

@@ -1,0 +1,83 @@
+"""The module quotient graph faithfully collapses the metagraph."""
+
+import pytest
+
+from repro.analysis import QuotientGraph, quotient_graph
+
+
+def test_nodes_are_the_metagraph_modules(control_graph, control_quotient):
+    assert set(control_quotient.nodes) == set(control_graph.modules())
+
+
+def test_node_sizes_partition_the_variable_nodes(control_graph, control_quotient):
+    total = sum(
+        control_quotient.node_size(m) for m in control_quotient.nodes
+    )
+    assert total == control_graph.node_count
+
+
+def test_total_weight_equals_cross_module_variable_edges(
+    control_graph, control_quotient
+):
+    weight = sum(w for _, _, w in control_quotient.edges())
+    assert weight == control_graph.cross_module_edges()
+
+
+def test_no_self_edges(control_quotient):
+    assert all(src != dst for src, dst, _ in control_quotient.edges())
+
+
+def test_edge_iteration_is_sorted_and_deterministic(control_quotient):
+    edges = list(control_quotient.edges())
+    assert edges == sorted(edges, key=lambda e: (e[0], e[1]))
+    assert edges == list(control_quotient.edges())
+
+
+def test_undirected_weight_symmetry(control_quotient):
+    for u, v, w in control_quotient.undirected_edges():
+        assert u < v
+        assert w == control_quotient.undirected_weight(v, u)
+        assert w == pytest.approx(
+            control_quotient.weight(u, v) + control_quotient.weight(v, u)
+        )
+
+
+def test_in_out_weight_conservation(control_quotient):
+    total_in = sum(control_quotient.in_weight(m) for m in control_quotient)
+    total_out = sum(control_quotient.out_weight(m) for m in control_quotient)
+    assert total_in == total_out
+
+
+def test_quotient_is_rebuild_deterministic(control_graph):
+    a = quotient_graph(control_graph)
+    b = quotient_graph(control_graph)
+    assert list(a.edges()) == list(b.edges())
+    assert a.nodes == b.nodes
+
+
+def test_subgraph_restricts_nodes_and_edges(control_quotient):
+    keep = control_quotient.nodes[:10] + ["not_a_module"]
+    sub = control_quotient.subgraph(keep)
+    assert set(sub.nodes) <= set(control_quotient.nodes[:10])
+    for src, dst, w in sub.edges():
+        assert w == control_quotient.weight(src, dst)
+
+
+def test_manual_assembly_accumulates_weights():
+    q = QuotientGraph()
+    q.add_edge("a", "b", 2.0)
+    q.add_edge("a", "b", 3.0)
+    q.add_edge("b", "a", 1.0)
+    assert q.weight("a", "b") == 5.0
+    assert q.undirected_weight("a", "b") == 6.0
+    assert q.neighbors("a") == ["b"]
+    assert q.degree("a") == 1
+    assert q.in_degree("b") == 1 and q.out_degree("b") == 1
+
+
+def test_self_edges_are_dropped_and_bad_weights_rejected():
+    q = QuotientGraph()
+    q.add_edge("a", "a")
+    assert q.edge_count == 0
+    with pytest.raises(ValueError, match="positive"):
+        q.add_edge("a", "b", 0.0)

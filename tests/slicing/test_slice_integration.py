@@ -104,6 +104,44 @@ def test_slice_is_ranked_and_reports_evidence(
     assert sl.summary().startswith("RankedSlice(")
 
 
+def test_explicit_variables_override_replaces_the_topk_heuristic(
+    accepted_ensemble, ect, control_source, control_graph
+):
+    """The refinement stage injects its own affected-variable set: the
+    ``variables=`` override must slice from exactly those fields (with
+    their own evidence weights), ignoring the internal top-k selection and
+    the ect_result filter."""
+    model = ModelConfig(patches=("wsubbug",))
+    patched_source = build_model_source(model)
+    runs = [
+        run_model(SPEC.experimental_config(i, model=model), source=patched_source)
+        for i in range(3)
+    ]
+    coverage = run_model(
+        RunConfig(model=model, nsteps=1), source=patched_source
+    ).coverage
+    kwargs = dict(
+        graph=control_graph, source=control_source, coverage=coverage
+    )
+    injected = slice_failing_runs(
+        accepted_ensemble, runs,
+        variables=["WSUB", "WSUB@first", "PRECT"], **kwargs
+    )
+    # only the requested fields carry evidence (@first folds into its base)
+    assert set(injected.variable_weights) == {"WSUB", "PRECT"}
+    assert set(injected.slices) <= {"WSUB", "PRECT"}
+    assert "microp_aero" in injected
+    # and the override genuinely changes the outcome vs. the heuristic
+    default = slice_failing_runs(accepted_ensemble, runs, **kwargs)
+    assert set(default.variable_weights) != set(injected.variable_weights)
+    # unknown / non-deviating fields contribute nothing rather than fail
+    silent = slice_failing_runs(
+        accepted_ensemble, runs, variables=["NOT_A_FIELD"], **kwargs
+    )
+    assert silent.variable_weights == {}
+    assert silent.modules == []
+
+
 def test_never_executed_modules_are_sliced_away(
     accepted_ensemble, ect, control_source, control_graph
 ):

@@ -22,6 +22,8 @@ IMPLEMENTED_MODULES = {
     "repro.ect",
     "repro.coverage",
     "repro.slicing",
+    "repro.analysis",
+    "repro.refine",
 }
 
 IMPLEMENTED = sorted(
