@@ -86,10 +86,21 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     "RefinementConfig": ("repro.refine", "RefinementConfig"),
     "RefinementResult": ("repro.refine", "RefinementResult"),
     "refine_slice": ("repro.refine", "refine_slice"),
-    # experiments / pipeline
+    # experiments / pipeline / reporting
+    "ExperimentSpec": ("repro.experiments", "ExperimentSpec"),
     "get_experiment": ("repro.experiments", "get_experiment"),
     "list_experiments": ("repro.experiments", "list_experiments"),
+    "run_experiment": ("repro.experiments", "run_experiment"),
+    "run_sweep": ("repro.experiments", "run_sweep"),
+    "Pipeline": ("repro.pipeline", "Pipeline"),
     "RootCauseAnalysis": ("repro.pipeline", "RootCauseAnalysis"),
+    "Stage": ("repro.pipeline", "Stage"),
+    "accepted_ensemble": ("repro.pipeline", "accepted_ensemble"),
+    "root_cause_pipeline": ("repro.pipeline", "root_cause_pipeline"),
+    "LocalizationReport": ("repro.reporting", "LocalizationReport"),
+    "build_report": ("repro.reporting", "build_report"),
+    "centrality_table": ("repro.reporting", "centrality_table"),
+    "degree_table": ("repro.reporting", "degree_table"),
 }
 
 __all__ = ["__version__", *sorted(_LAZY_EXPORTS)]

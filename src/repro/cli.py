@@ -1,0 +1,240 @@
+"""``python -m repro`` — the resumable root-cause pipeline CLI.
+
+One entry point over the whole stack::
+
+    python -m repro list                         # the six experiments
+    python -m repro run wsubbug --store store    # build -> ensemble -> ECT
+                                                 #   -> slice -> refine -> report
+    python -m repro run wsubbug --store store    # again: resumes from cache
+    python -m repro sweep --store store          # all experiments, shared store
+    python -m repro tables                       # Table 1/2 metagraph tables
+
+``run`` and ``sweep`` print the markdown localization report plus a
+per-stage execution table (status, wall seconds, store and member-cache
+hits/misses); ``--json`` switches to a machine-readable document carrying
+the report, the stage records and the store statistics — what the CI
+smoke job and the bench parse to assert cache behavior.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Root cause analysis for a synthetic climate model "
+        "(Milroy et al., HPDC 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default=".repro-store",
+            help="pipeline store directory (stage + member caches); "
+            "re-running against the same store resumes "
+            "(default: %(default)s)",
+        )
+        p.add_argument(
+            "--backend",
+            default=None,
+            help="execution backend for member fan-outs "
+            "(serial/thread/process; default: library default)",
+        )
+        p.add_argument(
+            "--max-workers", type=int, default=None, help="pool width"
+        )
+        p.add_argument(
+            "--members", type=int, default=None, help="override ensemble size"
+        )
+        p.add_argument(
+            "--nsteps", type=int, default=None, help="override run length"
+        )
+        p.add_argument(
+            "--runs", type=int, default=None, help="override experimental runs"
+        )
+        p.add_argument(
+            "--refine-members",
+            type=int,
+            default=None,
+            help="override refinement-ensemble size",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit a JSON document (report + stage records) instead "
+            "of markdown",
+        )
+
+    run = sub.add_parser(
+        "run", help="run (or resume) one experiment end to end"
+    )
+    run.add_argument("experiment", help="experiment name (see `list`)")
+    add_run_options(run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run several experiments against one shared store"
+    )
+    sweep.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: all six)",
+    )
+    add_run_options(sweep)
+
+    sub.add_parser("list", help="list the registered experiments")
+
+    tables = sub.add_parser(
+        "tables", help="print the paper-style metagraph tables (Tables 1/2)"
+    )
+    tables.add_argument(
+        "--top", type=int, default=None, help="top-N rows of the centrality table"
+    )
+    tables.add_argument("--json", action="store_true", help="emit JSON")
+
+    return parser
+
+
+def _resolve_experiment(args):
+    """The (possibly overridden) ExperimentSpec the run/sweep args name."""
+    from .experiments import get_experiment
+
+    spec = get_experiment(args.experiment)
+    overrides = {}
+    if args.members is not None:
+        overrides["members"] = args.members
+    if args.nsteps is not None:
+        overrides["nsteps"] = args.nsteps
+    if args.runs is not None:
+        overrides["n_runs"] = args.runs
+    if args.refine_members is not None:
+        from .refine import RefinementConfig
+
+        base = spec.refine or RefinementConfig()
+        import dataclasses
+
+        overrides["refine"] = dataclasses.replace(
+            base, members=args.refine_members
+        )
+    return spec.with_(**overrides) if overrides else spec
+
+
+def _run_document(result) -> dict:
+    """The JSON document of one pipeline run."""
+    doc = result.to_dict()
+    doc["report"] = result["report"].to_dict()
+    return doc
+
+
+def _print_stage_table(result, out) -> None:
+    print("| stage | status | wall s | store h/m | members h/m |", file=out)
+    print("| --- | --- | --- | --- | --- |", file=out)
+    for rec in result.records:
+        print(
+            f"| {rec.name} | {rec.status} | {rec.wall_s:.2f} "
+            f"| {rec.store_hits}/{rec.store_misses} "
+            f"| {rec.member_hits}/{rec.member_misses} |",
+            file=out,
+        )
+
+
+def _cmd_run(args, out) -> int:
+    from .pipeline import RootCauseAnalysis
+
+    result = RootCauseAnalysis(
+        _resolve_experiment(args),
+        store_dir=args.store,
+        backend=args.backend,
+        max_workers=args.max_workers,
+    ).run()
+    report = result["report"]
+    if args.json:
+        print(json.dumps(_run_document(result), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.to_markdown(), file=out)
+        print("## Pipeline\n", file=out)
+        _print_stage_table(result, out)
+    return 0 if report.localized else 1
+
+
+def _cmd_sweep(args, out) -> int:
+    from .experiments import list_experiments
+    from .pipeline import RootCauseAnalysis
+
+    names = args.experiments or list_experiments()
+    documents, failures = {}, []
+    for name in names:
+        sweep_args = argparse.Namespace(**{**vars(args), "experiment": name})
+        result = RootCauseAnalysis(
+            _resolve_experiment(sweep_args),
+            store_dir=args.store,
+            backend=args.backend,
+            max_workers=args.max_workers,
+        ).run()
+        report = result["report"]
+        if not report.localized:
+            failures.append(name)
+        if args.json:
+            documents[name] = _run_document(result)
+        else:
+            print(f"## {name}: localized={report.localized}", file=out)
+            _print_stage_table(result, out)
+            print("", file=out)
+    if args.json:
+        print(
+            json.dumps(
+                {"experiments": documents, "failures": failures},
+                indent=2,
+                sort_keys=True,
+            ),
+            file=out,
+        )
+    return 1 if failures else 0
+
+
+def _cmd_list(out) -> int:
+    from .experiments import get_experiment, list_experiments
+
+    for name in list_experiments():
+        print(f"{name:16s} {get_experiment(name).description}", file=out)
+    return 0
+
+
+def _cmd_tables(args, out) -> int:
+    from .graphs import build_metagraph
+    from .model import ModelConfig, build_model_source
+    from .reporting import centrality_table, degree_table
+
+    graph = build_metagraph(build_model_source(ModelConfig()))
+    tables = [degree_table(graph), centrality_table(graph, top=args.top)]
+    if args.json:
+        print(
+            json.dumps(
+                [t.to_dict() for t in tables], indent=2, sort_keys=True
+            ),
+            file=out,
+        )
+    else:
+        for table in tables:
+            print(table.to_markdown(), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
+    if args.command == "list":
+        return _cmd_list(out)
+    return _cmd_tables(args, out)

@@ -41,6 +41,7 @@ from .backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    UnknownBackendError,
     get_backend,
     list_backends,
     register_backend,
@@ -59,6 +60,7 @@ __all__ = [
     "RunArtifact",
     "SerialBackend",
     "ThreadBackend",
+    "UnknownBackendError",
     "generate_ensemble",
     "get_backend",
     "list_backends",

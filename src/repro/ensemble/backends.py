@@ -57,10 +57,27 @@ __all__ = [
     "ProcessBackend",
     "SerialBackend",
     "ThreadBackend",
+    "UnknownBackendError",
     "get_backend",
     "list_backends",
     "register_backend",
 ]
+
+
+class UnknownBackendError(ValueError, KeyError):
+    """Raised for a backend name that is not registered.
+
+    Mirrors :class:`~repro.model.patches.UnknownPatchError`: it subclasses
+    :class:`ValueError` (the error type ``get_backend`` has always raised,
+    so existing callers keep working) and :class:`KeyError` (for callers
+    treating the registry as a mapping), and its message names every
+    registered backend so a typo in ``backend=`` or the
+    ``REPRO_ENSEMBLE_BACKEND`` environment variable fails fast and loudly
+    instead of deep inside an ensemble generation.
+    """
+
+    def __str__(self) -> str:  # avoid KeyError's repr-quoting of the message
+        return self.args[0] if self.args else ""
 
 #: environment knob consulted when neither the call nor the spec chooses
 BACKEND_ENV_VAR = "REPRO_ENSEMBLE_BACKEND"
@@ -302,7 +319,9 @@ def get_backend(
     ``max_workers`` is a :class:`ValueError` rather than a silently
     ignored knob; a string is looked up in the registry; ``None`` falls
     back to the ``REPRO_ENSEMBLE_BACKEND`` environment variable and then
-    to ``"thread"``.
+    to ``"thread"``.  A name the registry does not know — wherever it came
+    from, argument, spec or environment — raises
+    :class:`UnknownBackendError` listing every registered backend.
     """
     if isinstance(backend, ExecutionBackend):
         if max_workers is not None:
@@ -317,7 +336,7 @@ def get_backend(
         factory = _BACKENDS[name]
     except KeyError:
         known = ", ".join(list_backends())
-        raise ValueError(
+        raise UnknownBackendError(
             f"unknown execution backend {name!r} (known: {known})"
         ) from None
     return factory(max_workers=max_workers)

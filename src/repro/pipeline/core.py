@@ -1,0 +1,396 @@
+"""The typed stage DAG: content-hashed cache keys, topological execution,
+resume-from-cache, per-stage timing/status records.
+
+A :class:`Stage` is one unit of the root-cause workflow — "generate the
+accepted ensemble", "run the consistency test" — with a name, the names of
+the upstream stages it consumes, a ``params`` mapping that *fully
+determines its behaviour*, and (when cacheable) an ``encode``/``decode``
+pair mapping its value to a flat ndarray payload for the
+:class:`~repro.pipeline.store.ArtifactStore`.
+
+Cache keys are content hashes, derived the same way the ensemble member
+cache hashes run configurations (:func:`repro.ensemble.cache.member_cache_key`):
+a SHA-256 over the stage name, a canonical-JSON token of its params, a
+format version, and the *fingerprints of its inputs* — so a changed
+upstream stage (new patch, different ensemble size, edited model source)
+transitively invalidates everything downstream, while an untouched prefix
+of the DAG resumes from cache bit-identically.  Stage functions are
+assumed pure given their params and inputs; the params mapping is that
+contract.
+
+:class:`Pipeline` executes the stages in dependency order (deterministic:
+declaration order breaks ties), consulting the store before running each
+cacheable stage, and returns a :class:`PipelineResult` whose
+:class:`StageRecord` list says for every stage whether it was a cache
+``hit`` or ``ran``, how long it took, and how many store / member-cache
+hits and misses it saw — the observability that makes resume semantics
+testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ..ensemble.cache import MemberCache, _json_safe
+from .store import ArtifactStore, StoreError
+
+__all__ = [
+    "Pipeline",
+    "PipelineError",
+    "PipelineResult",
+    "Stage",
+    "StageContext",
+    "StageError",
+    "StageRecord",
+    "config_token",
+]
+
+#: bump when key derivation or payload conventions change incompatibly
+PIPELINE_FORMAT = 1
+
+
+class PipelineError(ValueError):
+    """Raised for a structurally invalid pipeline (cycles, bad inputs)."""
+
+
+class StageError(RuntimeError):
+    """A stage function raised; carries the records completed so far.
+
+    The artifacts of every stage that finished *before* the failure are
+    already in the store, so re-running the same pipeline resumes from
+    them — the failure loses only the failing stage's own work.
+    """
+
+    def __init__(self, stage: str, cause: BaseException, records: list):
+        super().__init__(f"pipeline stage {stage!r} failed: {cause}")
+        self.stage = stage
+        self.records = records
+
+
+def config_token(value: Any) -> Any:
+    """A deterministic JSON-safe token of a (possibly nested) config value.
+
+    Dataclasses (``EnsembleSpec``, ``EctConfig``, ``RefinementConfig``,
+    ...) are expanded field by field — a knob added to a config in a later
+    PR automatically changes every key it participates in, the same
+    regression-proofing the member cache applies to ``FPConfig``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: config_token(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): config_token(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [config_token(v) for v in value]
+    if isinstance(value, (frozenset, set)):
+        return sorted(config_token(v) for v in value)
+    return _json_safe(value)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One DAG node (see module docstring).
+
+    ``func(ctx, **inputs)`` computes the value; ``inputs`` are keyword
+    arguments named after the upstream stages.  Cacheable stages must
+    supply ``encode(value, ctx, inputs) -> payload`` and ``decode(payload,
+    ctx, inputs) -> value``; ``fingerprint(value)``, when given, replaces the
+    stage key as this stage's contribution to downstream keys (used by
+    non-cacheable stages whose *content* matters downstream, e.g. the
+    built model source contributing its content digest).
+    """
+
+    name: str
+    func: Callable[..., Any]
+    inputs: tuple[str, ...] = ()
+    params: Mapping[str, Any] = field(default_factory=dict)
+    cacheable: bool = True
+    encode: Optional[Callable[[Any], Mapping]] = None
+    decode: Optional[Callable[[Mapping, "StageContext", dict], Any]] = None
+    fingerprint: Optional[Callable[[Any], str]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise PipelineError(
+                f"stage name must be a non-empty identifier, got {self.name!r}"
+            )
+        if not isinstance(self.inputs, tuple):
+            object.__setattr__(self, "inputs", tuple(self.inputs))
+        if self.cacheable and (self.encode is None or self.decode is None):
+            raise PipelineError(
+                f"cacheable stage {self.name!r} needs encode and decode"
+            )
+
+    def key(self, input_fingerprints: Mapping[str, str]) -> str:
+        """The content hash identifying this stage's output."""
+        h = hashlib.sha256()
+        h.update(b"repro-pipeline-stage\x00")
+        h.update(str(PIPELINE_FORMAT).encode())
+        h.update(self.name.encode())
+        token = {
+            "params": config_token(dict(self.params)),
+            "inputs": [
+                [name, input_fingerprints[name]] for name in self.inputs
+            ],
+        }
+        h.update(json.dumps(token, sort_keys=True).encode())
+        return h.hexdigest()
+
+
+@dataclass
+class StageRecord:
+    """What happened to one stage in one :meth:`Pipeline.run`."""
+
+    name: str
+    key: str
+    #: ``"hit"`` (decoded from the store without running) or ``"ran"``
+    status: str = "ran"
+    cacheable: bool = True
+    wall_s: float = 0.0
+    #: store loads this stage answered from disk / missed
+    store_hits: int = 0
+    store_misses: int = 0
+    #: ensemble member-cache hits/misses attributable to this stage
+    member_hits: int = 0
+    member_misses: int = 0
+    #: free-form annotations from the stage function (``ctx.annotate``)
+    info: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "key": self.key,
+            "status": self.status,
+            "cacheable": self.cacheable,
+            "wall_s": round(self.wall_s, 4),
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "member_hits": self.member_hits,
+            "member_misses": self.member_misses,
+            "info": dict(self.info),
+        }
+
+
+class StageContext:
+    """What a running stage sees of its pipeline.
+
+    ``member_cache`` is the shared content-addressed
+    :class:`~repro.ensemble.cache.MemberCache` under the pipeline store
+    (None when the pipeline runs uncached): stage adapters route every
+    model run through it, so *member simulations* are cached at run
+    granularity below the stage granularity — a resumed pipeline re-runs
+    no member the store already holds.  ``annotate`` attaches structured
+    details to the stage record; ``count_members`` accounts member-cache
+    traffic that went through a private cache instance (e.g. inside
+    ``generate_ensemble``).
+    """
+
+    def __init__(
+        self,
+        record: StageRecord,
+        member_cache: Optional[MemberCache],
+    ):
+        self.record = record
+        self.member_cache = member_cache
+
+    @property
+    def member_cache_dir(self):
+        return None if self.member_cache is None else self.member_cache.directory
+
+    def annotate(self, **info: Any) -> None:
+        self.record.info.update(info)
+
+    def count_members(self, hits: int, misses: int) -> None:
+        self.record.member_hits += hits
+        self.record.member_misses += misses
+
+
+@dataclass
+class PipelineResult:
+    """Stage values plus the per-stage execution records of one run."""
+
+    outputs: dict[str, Any]
+    records: list[StageRecord]
+    store_stats: Optional[dict] = None
+    terminal: str = ""
+
+    def __getitem__(self, stage: str) -> Any:
+        return self.outputs[stage]
+
+    @property
+    def value(self) -> Any:
+        """The terminal stage's value (the last stage in dependency order)."""
+        return self.outputs[self.terminal]
+
+    def record(self, stage: str) -> StageRecord:
+        for rec in self.records:
+            if rec.name == stage:
+                return rec
+        raise KeyError(stage)
+
+    def timings(self) -> dict[str, float]:
+        """``{stage: wall seconds}`` in execution order."""
+        return {rec.name: round(rec.wall_s, 4) for rec in self.records}
+
+    def to_dict(self) -> dict:
+        return {
+            "stages": [rec.to_dict() for rec in self.records],
+            "store": self.store_stats,
+        }
+
+
+class Pipeline:
+    """Topologically executed stage DAG over one artifact store.
+
+    ``store_dir`` roots both caches: ``<store_dir>/stages`` holds the
+    per-stage payloads, ``<store_dir>/members`` the run-level member
+    artifacts.  ``None`` disables caching entirely (every stage runs).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        store_dir: "str | Path | None" = None,
+    ):
+        if not stages:
+            raise PipelineError("a pipeline needs at least one stage")
+        names = [stage.name for stage in stages]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise PipelineError(f"duplicate stage names: {sorted(dupes)}")
+        by_name = {stage.name: stage for stage in stages}
+        for stage in stages:
+            unknown = [i for i in stage.inputs if i not in by_name]
+            if unknown:
+                raise PipelineError(
+                    f"stage {stage.name!r} consumes unknown stages: {unknown}"
+                )
+        self.stages = tuple(self._topological(stages, by_name))
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+
+    @staticmethod
+    def _topological(
+        stages: Sequence[Stage], by_name: Mapping[str, Stage]
+    ) -> list[Stage]:
+        """Kahn's algorithm; declaration order breaks ties (deterministic)."""
+        order = {stage.name: i for i, stage in enumerate(stages)}
+        indegree = {stage.name: len(stage.inputs) for stage in stages}
+        dependents: dict[str, list[str]] = {stage.name: [] for stage in stages}
+        for stage in stages:
+            for upstream in stage.inputs:
+                dependents[upstream].append(stage.name)
+        ready = sorted(
+            (n for n, d in indegree.items() if d == 0), key=order.__getitem__
+        )
+        out: list[Stage] = []
+        while ready:
+            name = ready.pop(0)
+            out.append(by_name[name])
+            changed = False
+            for dep in dependents[name]:
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    ready.append(dep)
+                    changed = True
+            if changed:
+                ready.sort(key=order.__getitem__)
+        if len(out) != len(stages):
+            stuck = sorted(n for n, d in indegree.items() if d > 0)
+            raise PipelineError(f"pipeline has a dependency cycle: {stuck}")
+        return out
+
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(name)
+
+    def keys(self) -> dict[str, str]:
+        """Static stage keys, ignoring value fingerprints of dynamic stages.
+
+        Exact for every stage whose transitive inputs all fingerprint by
+        key (the default); stages downstream of a custom ``fingerprint``
+        get their true key only at run time.  Useful for tests asserting
+        key-sharing across pipelines.
+        """
+        fps: dict[str, str] = {}
+        out: dict[str, str] = {}
+        for stage in self.stages:
+            key = stage.key({i: fps[i] for i in stage.inputs})
+            out[stage.name] = key
+            fps[stage.name] = key
+        return out
+
+    def run(self) -> PipelineResult:
+        """Execute the DAG, resuming every cacheable stage the store holds."""
+        store = member_cache = None
+        if self.store_dir is not None:
+            store = ArtifactStore(self.store_dir / "stages")
+            member_cache = MemberCache(self.store_dir / "members")
+
+        values: dict[str, Any] = {}
+        fingerprints: dict[str, str] = {}
+        records: list[StageRecord] = []
+        for stage in self.stages:
+            key = stage.key({i: fingerprints[i] for i in stage.inputs})
+            record = StageRecord(
+                name=stage.name, key=key, cacheable=stage.cacheable
+            )
+            ctx = StageContext(record, member_cache)
+            inputs = {i: values[i] for i in stage.inputs}
+            started = time.perf_counter()
+            store_h0 = store.hits if store else 0
+            store_m0 = store.misses if store else 0
+            member_h0 = member_cache.hits if member_cache else 0
+            member_m0 = member_cache.misses if member_cache else 0
+
+            value, decoded = None, False
+            if store is not None and stage.cacheable:
+                payload = store.load(key)
+                if payload is not None:
+                    try:
+                        value = stage.decode(payload, ctx, inputs)
+                        decoded = True
+                    except (StoreError, ValueError, KeyError, IndexError):
+                        decoded = False  # treat as a miss and recompute
+            if decoded:
+                record.status = "hit"
+            else:
+                try:
+                    value = stage.func(ctx, **inputs)
+                except Exception as exc:
+                    record.status = "error"
+                    record.wall_s = time.perf_counter() - started
+                    records.append(record)
+                    raise StageError(stage.name, exc, records) from exc
+                record.status = "ran"
+                if store is not None and stage.cacheable:
+                    store.save(key, stage.encode(value, ctx, inputs))
+
+            values[stage.name] = value
+            fingerprints[stage.name] = (
+                stage.fingerprint(value) if stage.fingerprint else key
+            )
+            record.wall_s = time.perf_counter() - started
+            if store is not None:
+                record.store_hits += store.hits - store_h0
+                record.store_misses += store.misses - store_m0
+            if member_cache is not None:
+                record.member_hits += member_cache.hits - member_h0
+                record.member_misses += member_cache.misses - member_m0
+            records.append(record)
+
+        return PipelineResult(
+            outputs=values,
+            records=records,
+            store_stats=store.stats() if store is not None else None,
+            terminal=self.stages[-1].name,
+        )

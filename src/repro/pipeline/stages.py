@@ -1,0 +1,730 @@
+"""Stage adapters: the existing root-cause stack behind the DAG engine.
+
+Every stage of the paper's workflow — build patched model → perturbed
+ensemble → UF-ECT verdict → coverage-filtered slice → community-guided
+refinement → culprit report — gains a thin :class:`~repro.pipeline.core.Stage`
+adapter here, so :func:`repro.ensemble.generate_ensemble`,
+:func:`repro.ect.ect_test`, :func:`repro.slicing.slice_failing_runs` and
+:func:`repro.refine.refine_slice` stop being hand-wired calls and become
+cacheable, resumable, schedulable DAG nodes.
+
+Two cache granularities cooperate:
+
+* **member level** — every model run (ensemble member, experimental run,
+  coverage run) goes through the shared content-addressed
+  :class:`~repro.ensemble.cache.MemberCache` under ``<store>/members``, so
+  no simulation the store already holds is ever re-run;
+* **stage level** — each stage's *derived* product (ensemble matrix, ECT
+  verdict, ranked slice, refinement trajectory, report) is one payload in
+  ``<store>/stages`` under the stage's content-hashed key, so a resumed
+  pipeline skips even the cheap recomputation and its records say so.
+
+Rehydration notes: a cache-hit ensemble is rebuilt member-by-member from
+the member cache (bit-identical matrix, merged coverage); a cache-hit
+:class:`~repro.slicing.RankedSlice` carries its modules / ranking /
+weights but drops the per-variable ``slices`` detail; a cache-hit
+:class:`~repro.refine.RefinementResult` drops the fitted ``communities``
+and baseline ``verdict`` objects (the pipeline's own ``ect`` stage is the
+verdict of record).  Downstream stages and reports only consume the
+preserved fields.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..ect import EctConfig, EctResult, UltraFastECT
+from ..ensemble import Ensemble, generate_ensemble, member_cache_key
+from ..ensemble.spec import EnsembleSpec
+from ..graphs import build_metagraph
+from ..model.builder import ModelConfig, ModelSource, build_model_source
+from ..refine import RefinementConfig, RefinementResult, RefinementStep, refine_slice
+from ..runtime import CoverageTrace, RunConfig, RunResult, run_model
+from ..slicing import RankedSlice, slice_failing_runs
+from .core import Pipeline, PipelineResult, Stage, StageContext, config_token
+from .store import StoreError, json_payload, payload_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments import ExperimentSpec
+
+__all__ = [
+    "RootCauseAnalysis",
+    "accepted_ensemble",
+    "make_ect_stage",
+    "make_ensemble_stage",
+    "make_source_stage",
+    "root_cause_pipeline",
+]
+
+
+# --------------------------------------------------------------------- runs
+def _cached_run(
+    ctx: StageContext, source: ModelSource, config: RunConfig
+) -> RunResult:
+    """One model run through the shared member cache (run if missing)."""
+    cache = ctx.member_cache
+    if cache is None:
+        return run_model(config, source=source)
+    key = member_cache_key(source, config)
+    result = cache.load(key, config)
+    if result is None:
+        result = run_model(config, source=source)
+        cache.store(key, result)
+    return result
+
+
+def _load_cached_runs(
+    ctx: StageContext,
+    source: ModelSource,
+    configs: list[RunConfig],
+    keys: list[str],
+) -> list[RunResult]:
+    """Rehydrate runs from the member cache; StoreError on any gap."""
+    if ctx.member_cache is None:
+        raise StoreError("no member cache to rehydrate runs from")
+    if len(keys) != len(configs):
+        raise StoreError(
+            f"cached run count {len(keys)} != expected {len(configs)}"
+        )
+    runs: list[RunResult] = []
+    for key, config in zip(keys, configs):
+        if key != member_cache_key(source, config):
+            raise StoreError("cached run key does not match its config")
+        artifact = ctx.member_cache.load_artifact(key)
+        if artifact is None:
+            raise StoreError(f"member artifact {key[:12]}... missing")
+        runs.append(artifact.to_result(config))
+    return runs
+
+
+# ------------------------------------------------------------ source stages
+def make_source_stage(name: str, model: ModelConfig) -> Stage:
+    """Build + parse one :class:`ModelSource` (cheap, never cached on disk).
+
+    The stage fingerprints with the built tree's content digest, so any
+    model-source or patch change transitively invalidates every
+    downstream stage key.
+    """
+
+    def func(ctx: StageContext) -> ModelSource:
+        source = build_model_source(model)
+        source.parse()
+        return source
+
+    return Stage(
+        name=name,
+        func=func,
+        params={"model": model},
+        cacheable=False,
+        fingerprint=lambda source: source.content_digest(),
+    )
+
+
+def make_metagraph_stage(source_input: str = "control_source") -> Stage:
+    """Build the variable-dependency metagraph of the control tree."""
+    return Stage(
+        name="metagraph",
+        func=lambda ctx, **inputs: build_metagraph(inputs[source_input]),
+        inputs=(source_input,),
+        cacheable=False,
+    )
+
+
+# ---------------------------------------------------------- ensemble stage
+def make_ensemble_stage(
+    spec: EnsembleSpec,
+    *,
+    name: str = "control_ensemble",
+    source_input: str = "control_source",
+    backend=None,
+    max_workers: Optional[int] = None,
+) -> Stage:
+    """The accepted-ensemble stage over the pluggable backend registry.
+
+    The backend and pool width are *where* knobs, not *what* knobs — every
+    backend is bit-identical — so they stay out of the cache key.  The
+    stage payload is the member key list plus the stacked matrix; a hit
+    rehydrates every member from the member cache (raising a store miss,
+    and thus re-running, if any artifact is gone).
+    """
+
+    def member_keys(source: ModelSource) -> list[str]:
+        return [
+            member_cache_key(source, config)
+            for config in spec.member_configs()
+        ]
+
+    def func(ctx: StageContext, **inputs) -> Ensemble:
+        ensemble = generate_ensemble(
+            spec,
+            source=inputs[source_input],
+            cache_dir=ctx.member_cache_dir,
+            backend=backend,
+            max_workers=max_workers,
+        )
+        ctx.count_members(ensemble.cache_hits, ensemble.cache_misses)
+        ctx.annotate(
+            backend=ensemble.stats.get("backend"),
+            n_members=ensemble.n_members,
+        )
+        return ensemble
+
+    def encode(ensemble: Ensemble, ctx: StageContext, inputs) -> dict:
+        return json_payload(
+            {
+                "member_keys": member_keys(inputs[source_input]),
+                "variable_names": list(ensemble.variable_names),
+            },
+            arrays={"matrix": ensemble.matrix},
+        )
+
+    def decode(payload, ctx: StageContext, inputs) -> Ensemble:
+        meta = payload_json(payload)
+        source = inputs[source_input]
+        configs = spec.member_configs()
+        members = _load_cached_runs(
+            ctx, source, configs, list(meta["member_keys"])
+        )
+        matrix = np.asarray(payload["matrix"], dtype=float)
+        if matrix.shape[0] != len(members):
+            raise StoreError("cached ensemble matrix does not match members")
+        ctx.annotate(backend="store", n_members=len(members))
+        return Ensemble(
+            spec=spec,
+            variable_names=list(meta["variable_names"]),
+            matrix=matrix,
+            members=members,
+            coverage=CoverageTrace().merged(*(m.coverage for m in members)),
+            cache_hits=len(members),
+            cache_misses=0,
+            stats={"backend": "store"},
+        )
+
+    return Stage(
+        name=name,
+        func=func,
+        inputs=(source_input,),
+        params={"spec": spec},
+        encode=encode,
+        decode=decode,
+    )
+
+
+# ------------------------------------------------------ experimental stages
+def make_experimental_runs_stage(
+    spec: EnsembleSpec,
+    model: ModelConfig,
+    fp,
+    n_runs: int,
+    *,
+    source_input: str,
+) -> Stage:
+    """K held-out experimental runs of the (possibly patched) build."""
+
+    def configs() -> list[RunConfig]:
+        return [
+            spec.experimental_config(i, model=model, fp=fp)
+            for i in range(n_runs)
+        ]
+
+    def func(ctx: StageContext, **inputs) -> list[RunResult]:
+        source = inputs[source_input]
+        return [_cached_run(ctx, source, config) for config in configs()]
+
+    def encode(runs, ctx: StageContext, inputs) -> dict:
+        source = inputs[source_input]
+        return json_payload(
+            {
+                "run_keys": [
+                    member_cache_key(source, config) for config in configs()
+                ]
+            }
+        )
+
+    def decode(payload, ctx: StageContext, inputs) -> list[RunResult]:
+        meta = payload_json(payload)
+        return _load_cached_runs(
+            ctx, inputs[source_input], configs(), list(meta["run_keys"])
+        )
+
+    return Stage(
+        name="experimental_runs",
+        func=func,
+        inputs=(source_input,),
+        params={"spec": spec, "model": model, "fp": fp, "n_runs": n_runs},
+        encode=encode,
+        decode=decode,
+    )
+
+
+def make_coverage_run_stage(
+    model: ModelConfig, fp, *, source_input: str
+) -> Stage:
+    """One single-step instrumented run of the failing configuration."""
+
+    def config() -> RunConfig:
+        kwargs = {} if fp is None else {"fp": fp}
+        return RunConfig(
+            model=model, nsteps=1, collect_coverage=True, **kwargs
+        )
+
+    def func(ctx: StageContext, **inputs) -> RunResult:
+        return _cached_run(ctx, inputs[source_input], config())
+
+    def encode(run, ctx: StageContext, inputs) -> dict:
+        return json_payload(
+            {"run_keys": [member_cache_key(inputs[source_input], config())]}
+        )
+
+    def decode(payload, ctx: StageContext, inputs) -> RunResult:
+        meta = payload_json(payload)
+        return _load_cached_runs(
+            ctx, inputs[source_input], [config()], list(meta["run_keys"])
+        )[0]
+
+    return Stage(
+        name="coverage_run",
+        func=func,
+        inputs=(source_input,),
+        params={"model": model, "fp": fp, "nsteps": 1},
+        encode=encode,
+        decode=decode,
+    )
+
+
+# ---------------------------------------------------------------- ECT stage
+def make_ect_stage(ect: Optional[EctConfig] = None) -> Stage:
+    """The UF-ECT verdict of the experimental runs against the ensemble."""
+    ect_config = ect or EctConfig()
+
+    def func(ctx: StageContext, control_ensemble, experimental_runs):
+        result = UltraFastECT(control_ensemble, ect_config).test(
+            experimental_runs
+        )
+        ctx.annotate(
+            consistent=result.consistent,
+            failing_pcs=len(result.failing_pcs),
+            invariant_violations=len(result.invariant_violations),
+        )
+        return result
+
+    def encode(result: EctResult, ctx, inputs) -> dict:
+        return json_payload(
+            {
+                "consistent": result.consistent,
+                "n_runs": result.n_runs,
+                "n_pcs": result.n_pcs,
+                "failing_pcs": list(result.failing_pcs),
+                "failing_variables": list(result.failing_variables),
+                "invariant_violations": list(result.invariant_violations),
+                "outlier_variables": list(result.outlier_variables),
+            },
+            arrays={
+                "pc_fail_counts": result.pc_fail_counts,
+                "run_scores": result.run_scores,
+            },
+        )
+
+    def decode(payload, ctx: StageContext, inputs) -> EctResult:
+        meta = payload_json(payload)
+        result = EctResult(
+            consistent=bool(meta["consistent"]),
+            n_runs=int(meta["n_runs"]),
+            n_pcs=int(meta["n_pcs"]),
+            failing_pcs=[int(pc) for pc in meta["failing_pcs"]],
+            failing_variables=list(meta["failing_variables"]),
+            invariant_violations=list(meta["invariant_violations"]),
+            pc_fail_counts=np.asarray(payload["pc_fail_counts"]),
+            run_scores=np.asarray(payload["run_scores"]),
+            config=ect_config,
+            outlier_variables=list(meta["outlier_variables"]),
+        )
+        ctx.annotate(consistent=result.consistent)
+        return result
+
+    return Stage(
+        name="ect",
+        func=func,
+        inputs=("control_ensemble", "experimental_runs"),
+        params={"ect": ect_config},
+        encode=encode,
+        decode=decode,
+    )
+
+
+# -------------------------------------------------------------- slice stage
+def make_slice_stage(
+    *,
+    top_k: int = 8,
+    decay: float = 0.5,
+    max_module_fraction: float = 0.45,
+) -> Stage:
+    """The coverage-filtered ranked backward slice of the failing runs."""
+
+    def func(
+        ctx: StageContext,
+        control_ensemble,
+        experimental_runs,
+        ect,
+        coverage_run,
+        metagraph,
+        control_source,
+    ) -> RankedSlice:
+        ranked = slice_failing_runs(
+            control_ensemble,
+            experimental_runs,
+            graph=metagraph,
+            source=control_source,
+            coverage=coverage_run.coverage,
+            ect_result=ect,
+            top_k=top_k,
+            decay=decay,
+            max_module_fraction=max_module_fraction,
+        )
+        ctx.annotate(slice_modules=len(ranked.modules))
+        return ranked
+
+    def encode(ranked: RankedSlice, ctx, inputs) -> dict:
+        return json_payload(
+            {
+                "modules": list(ranked.modules),
+                "ranking": [[m, s] for m, s in ranked.ranking],
+                "variable_weights": dict(ranked.variable_weights),
+                "total_modules": ranked.total_modules,
+            }
+        )
+
+    def decode(payload, ctx: StageContext, inputs) -> RankedSlice:
+        meta = payload_json(payload)
+        ranked = RankedSlice(
+            modules=list(meta["modules"]),
+            ranking=[(m, float(s)) for m, s in meta["ranking"]],
+            variable_weights={
+                k: float(v) for k, v in meta["variable_weights"].items()
+            },
+            slices={},  # per-variable detail is not persisted
+            total_modules=int(meta["total_modules"]),
+        )
+        ctx.annotate(slice_modules=len(ranked.modules))
+        return ranked
+
+    return Stage(
+        name="ranked_slice",
+        func=func,
+        inputs=(
+            "control_ensemble",
+            "experimental_runs",
+            "ect",
+            "coverage_run",
+            "metagraph",
+            "control_source",
+        ),
+        params={
+            "top_k": top_k,
+            "decay": decay,
+            "max_module_fraction": max_module_fraction,
+        },
+        encode=encode,
+        decode=decode,
+    )
+
+
+# ------------------------------------------------------------- refine stage
+def make_refine_stage(
+    refine: Optional[RefinementConfig] = None,
+    *,
+    backend=None,
+    max_workers: Optional[int] = None,
+) -> Stage:
+    """Algorithm 5.4 community-guided refinement of the ranked slice."""
+    refine_config = refine or RefinementConfig()
+
+    def func(
+        ctx: StageContext,
+        ranked_slice,
+        control_ensemble,
+        experimental_runs,
+        coverage_run,
+        metagraph,
+        control_source,
+    ) -> RefinementResult:
+        result = refine_slice(
+            ranked_slice,
+            control_ensemble,
+            experimental_runs,
+            config=refine_config,
+            graph=metagraph,
+            source=control_source,
+            coverage=coverage_run.coverage,
+            backend=backend,
+            cache_dir=ctx.member_cache_dir,
+            max_workers=max_workers,
+        )
+        ctx.count_members(
+            result.ensemble_cache_hits, result.ensemble_cache_misses
+        )
+        ctx.annotate(
+            refined_modules=len(result.modules),
+            iterations=result.n_iterations,
+        )
+        return result
+
+    def encode(result: RefinementResult, ctx, inputs) -> dict:
+        return json_payload(
+            {
+                "modules": list(result.modules),
+                "initial_modules": list(result.initial_modules),
+                "protected": sorted(result.protected),
+                "essential": sorted(result.essential),
+                "steps": [
+                    {
+                        "iteration": step.iteration,
+                        "candidate": list(step.candidate),
+                        "community": list(step.community),
+                        "kept_variables": list(step.kept_variables),
+                        "consistent": step.consistent,
+                        "action": step.action,
+                    }
+                    for step in result.steps
+                ],
+                "scores": dict(result.scores),
+                "variable_weights": dict(result.variable_weights),
+                "target": result.target,
+                "total_modules": result.total_modules,
+                "ensemble_cache_hits": result.ensemble_cache_hits,
+                "ensemble_cache_misses": result.ensemble_cache_misses,
+            }
+        )
+
+    def decode(payload, ctx: StageContext, inputs) -> RefinementResult:
+        meta = payload_json(payload)
+        result = RefinementResult(
+            modules=list(meta["modules"]),
+            initial_modules=list(meta["initial_modules"]),
+            protected=frozenset(meta["protected"]),
+            essential=frozenset(meta["essential"]),
+            steps=[
+                RefinementStep(
+                    iteration=int(step["iteration"]),
+                    candidate=tuple(step["candidate"]),
+                    community=tuple(step["community"]),
+                    kept_variables=tuple(step["kept_variables"]),
+                    consistent=step["consistent"],
+                    action=str(step["action"]),
+                )
+                for step in meta["steps"]
+            ],
+            scores={k: float(v) for k, v in meta["scores"].items()},
+            variable_weights={
+                k: float(v) for k, v in meta["variable_weights"].items()
+            },
+            communities=None,  # fitted objects are not persisted
+            verdict=None,  # the pipeline's `ect` stage is the verdict
+            target=int(meta["target"]),
+            total_modules=int(meta["total_modules"]),
+            ensemble_cache_hits=int(meta["ensemble_cache_hits"]),
+            ensemble_cache_misses=int(meta["ensemble_cache_misses"]),
+        )
+        ctx.annotate(
+            refined_modules=len(result.modules),
+            iterations=result.n_iterations,
+        )
+        return result
+
+    return Stage(
+        name="refined",
+        func=func,
+        inputs=(
+            "ranked_slice",
+            "control_ensemble",
+            "experimental_runs",
+            "coverage_run",
+            "metagraph",
+            "control_source",
+        ),
+        params={"refine": refine_config},
+        encode=encode,
+        decode=decode,
+    )
+
+
+# ------------------------------------------------------------- report stage
+def make_report_stage(
+    experiment_name: str,
+    patch: Optional[str],
+    fma: bool,
+    target_modules: int,
+) -> Stage:
+    """The culprit report: verdict + localization, rendered by repro.reporting."""
+
+    def func(
+        ctx: StageContext, ect, ranked_slice, refined, control_source
+    ):
+        from ..reporting import build_report
+
+        report = build_report(
+            experiment=experiment_name,
+            patch=patch,
+            fma=fma,
+            source=control_source,
+            verdict=ect,
+            ranked=ranked_slice,
+            refined=refined,
+            target_modules=target_modules,
+        )
+        ctx.annotate(
+            localized=report.localized,
+            refined_modules=len(report.refined_modules),
+        )
+        return report
+
+    def encode(report, ctx, inputs) -> dict:
+        return json_payload(report.to_dict())
+
+    def decode(payload, ctx: StageContext, inputs):
+        from ..reporting import LocalizationReport
+
+        report = LocalizationReport.from_dict(payload_json(payload))
+        ctx.annotate(
+            localized=report.localized,
+            refined_modules=len(report.refined_modules),
+        )
+        return report
+
+    return Stage(
+        name="report",
+        func=func,
+        inputs=("ect", "ranked_slice", "refined", "control_source"),
+        params={
+            "experiment": experiment_name,
+            "patch": patch,
+            "fma": fma,
+            "target_modules": target_modules,
+        },
+        encode=encode,
+        decode=decode,
+    )
+
+
+# --------------------------------------------------------------- assemblies
+def root_cause_pipeline(
+    experiment: "ExperimentSpec",
+    *,
+    store_dir=None,
+    backend=None,
+    max_workers: Optional[int] = None,
+) -> Pipeline:
+    """Compile one experiment into the full root-cause DAG.
+
+    ``backend`` / ``max_workers`` choose *where* members run (falling back
+    to the experiment's own backend field) and never enter cache keys:
+    all backends are bit-identical, so artifacts are shared across them.
+    """
+    spec = experiment.ensemble_spec()
+    exp_model = experiment.experimental_model()
+    exp_fp = experiment.experimental_fp()
+    backend = backend if backend is not None else experiment.backend
+
+    stages = [
+        make_source_stage("control_source", spec.model),
+        make_metagraph_stage(),
+        make_ensemble_stage(
+            spec, backend=backend, max_workers=max_workers
+        ),
+    ]
+    if exp_model == spec.model:
+        source_input = "control_source"
+    else:
+        source_input = "patched_source"
+        stages.append(make_source_stage("patched_source", exp_model))
+    stages += [
+        make_experimental_runs_stage(
+            spec,
+            exp_model,
+            exp_fp,
+            experiment.n_runs,
+            source_input=source_input,
+        ),
+        make_coverage_run_stage(exp_model, exp_fp, source_input=source_input),
+        make_ect_stage(experiment.ect),
+        make_slice_stage(),
+        make_refine_stage(
+            experiment.refine, backend=backend, max_workers=max_workers
+        ),
+        make_report_stage(
+            experiment.name,
+            experiment.patch,
+            getattr(experiment, "fma", False),
+            experiment.target_modules,
+        ),
+    ]
+    return Pipeline(stages, store_dir=store_dir)
+
+
+def accepted_ensemble(
+    spec: Optional[EnsembleSpec] = None,
+    *,
+    store_dir=None,
+    backend=None,
+    max_workers: Optional[int] = None,
+) -> Ensemble:
+    """Generate (or resume from the store) one accepted ensemble.
+
+    The single entry point callers outside the full root-cause DAG use —
+    the test suite's session ensemble fixture and ad-hoc notebooks — so
+    even standalone ensembles flow through the same build + ensemble
+    stages and share the same store layout as full experiments.
+    """
+    spec = spec or EnsembleSpec()
+    pipeline = Pipeline(
+        [
+            make_source_stage("control_source", spec.model),
+            make_ensemble_stage(
+                spec, backend=backend, max_workers=max_workers
+            ),
+        ],
+        store_dir=store_dir,
+    )
+    return pipeline.run()["control_ensemble"]
+
+
+class RootCauseAnalysis:
+    """End-to-end root cause analysis of one experiment, resumably.
+
+    The facade the CLI (``python -m repro run <experiment>``) and the
+    bench drive: resolve the experiment (by name through
+    :func:`repro.experiments.get_experiment`, or an
+    :class:`~repro.experiments.ExperimentSpec` directly), compile it to
+    the stage DAG, and run it against one store.
+
+    >>> from repro.pipeline import RootCauseAnalysis
+    >>> result = RootCauseAnalysis("wsubbug", store_dir="store").run()
+    >>> result["report"].localized
+    True
+    """
+
+    def __init__(
+        self,
+        experiment: "ExperimentSpec | str",
+        *,
+        store_dir=None,
+        backend=None,
+        max_workers: Optional[int] = None,
+    ):
+        if isinstance(experiment, str):
+            from ..experiments import get_experiment
+
+            experiment = get_experiment(experiment)
+        self.experiment = experiment
+        self.pipeline = root_cause_pipeline(
+            experiment,
+            store_dir=store_dir,
+            backend=backend,
+            max_workers=max_workers,
+        )
+
+    def run(self) -> PipelineResult:
+        """Execute (or resume) the DAG; ``result["report"]`` is the verdict."""
+        return self.pipeline.run()

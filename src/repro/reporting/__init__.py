@@ -1,0 +1,36 @@
+"""repro.reporting — verdict/localization reports and paper-style tables.
+
+The rendering back half of the pipeline: the terminal ``report`` stage of
+:mod:`repro.pipeline` assembles a :class:`LocalizationReport` (UF-ECT
+verdict + slice → refinement trajectory + the ≤ ``target_modules``
+success criterion), and :func:`degree_table` / :func:`centrality_table`
+reproduce the paper's Table 1/2-style metagraph summaries over
+:mod:`repro.analysis`.  Everything renders to both JSON (machines, the
+pipeline store, CI) and markdown (humans).
+
+>>> from repro.reporting import degree_table
+>>> from repro.graphs import build_metagraph
+>>> from repro.model import ModelConfig, build_model_source
+>>> table = degree_table(build_metagraph(build_model_source(ModelConfig())))
+>>> print(table.to_markdown())        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from .report import (
+    LocalizationReport,
+    VerdictReport,
+    build_report,
+    expected_culprit_modules,
+)
+from .tables import ReportTable, centrality_table, degree_table
+
+__all__ = [
+    "LocalizationReport",
+    "ReportTable",
+    "VerdictReport",
+    "build_report",
+    "centrality_table",
+    "degree_table",
+    "expected_culprit_modules",
+]

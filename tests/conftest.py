@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ensemble import EnsembleSpec, generate_ensemble
+from repro.ensemble import EnsembleSpec
 
 #: the accepted-ensemble configuration the ECT and slicing integration
 #: suites share (coverage off: 30 members is the expensive part)
@@ -10,6 +10,15 @@ ACCEPTED_SPEC = EnsembleSpec(n_members=30, collect_coverage=False)
 
 
 @pytest.fixture(scope="session")
-def accepted_ensemble_30():
-    """One 30-member accepted ensemble per test session."""
-    return generate_ensemble(ACCEPTED_SPEC)
+def accepted_ensemble_30(tmp_path_factory):
+    """One 30-member accepted ensemble per test session.
+
+    Generated through the pipeline's accepted-ensemble stage against a
+    session-scoped store, so the suites exercise the same build +
+    ensemble path the CLI runs and a re-request within the session is a
+    stage cache hit.
+    """
+    from repro.pipeline import accepted_ensemble
+
+    store = tmp_path_factory.mktemp("accepted-ensemble-store")
+    return accepted_ensemble(ACCEPTED_SPEC, store_dir=store)

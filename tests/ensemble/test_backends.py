@@ -9,6 +9,7 @@ from repro.ensemble import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    UnknownBackendError,
     generate_ensemble,
     get_backend,
     list_backends,
@@ -119,6 +120,29 @@ class TestRegistry:
     def test_unknown_backend_is_a_clear_error(self):
         with pytest.raises(ValueError, match="unknown execution backend"):
             get_backend("quantum")
+
+    def test_unknown_backend_error_type_and_listing(self):
+        """Mirrors UnknownPatchError: a KeyError that is also the
+        historical ValueError, naming every registered backend."""
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("quantum")
+        err = excinfo.value
+        assert isinstance(err, KeyError)
+        assert isinstance(err, ValueError)
+        for name in list_backends():
+            assert name in str(err)
+        # KeyError's repr-quoting must not mangle the message
+        assert str(err).startswith("unknown execution backend")
+
+    def test_unknown_backend_from_environment_fails_fast(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "warpdrive")
+        with pytest.raises(UnknownBackendError, match="warpdrive"):
+            get_backend(None)
+
+    def test_unknown_backend_from_spec_fails_fast(self, shared_source):
+        spec = EnsembleSpec(n_members=2, nsteps=1, backend="warpdrive")
+        with pytest.raises(UnknownBackendError, match="warpdrive"):
+            generate_ensemble(spec, source=shared_source)
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):

@@ -1,0 +1,108 @@
+"""``python -m repro`` in process: run/resume, sweep, list, tables."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+RUN_ARGS = [
+    "--members", "6",
+    "--nsteps", "1",
+    "--refine-members", "4",
+    "--backend", "serial",
+]
+
+
+def invoke(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_list_names_the_six_experiments():
+    code, text = invoke(["list"])
+    assert code == 0
+    for name in ("cldfrc-premib", "goffgratch", "mg-autoconv",
+                 "rand-mt", "wsubbug", "fma"):
+        assert name in text
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("cli-store"))
+
+    @pytest.fixture(scope="class")
+    def first_run(self, store):
+        return invoke(
+            ["run", "wsubbug", "--store", store, "--json", *RUN_ARGS]
+        )
+
+    def test_first_run_localizes_and_exits_zero(self, first_run):
+        code, text = first_run
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["report"]["localized"] is True
+        assert doc["report"]["experiment"] == "wsubbug"
+        assert len(doc["report"]["refined_modules"]) <= 10
+        statuses = {s["name"]: s["status"] for s in doc["stages"]}
+        assert statuses["control_ensemble"] == "ran"
+        assert statuses["report"] == "ran"
+
+    def test_second_run_resumes_without_member_simulations(
+        self, store, first_run
+    ):
+        code, text = invoke(
+            ["run", "wsubbug", "--store", store, "--json", *RUN_ARGS]
+        )
+        assert code == 0
+        doc = json.loads(text)
+        stages = {s["name"]: s for s in doc["stages"]}
+        assert stages["control_ensemble"]["status"] == "hit"
+        assert stages["ect"]["status"] == "hit"
+        assert stages["refined"]["status"] == "hit"
+        assert sum(s["member_misses"] for s in doc["stages"]) == 0
+        assert doc["report"] == json.loads(first_run[1])["report"]
+
+    def test_markdown_output(self, store, first_run):
+        code, text = invoke(["run", "wsubbug", "--store", store, *RUN_ARGS])
+        assert code == 0
+        assert "# Root cause report: wsubbug" in text
+        assert "| control_ensemble | hit |" in text
+
+    def test_unknown_experiment_raises_the_registry_error(self, tmp_path):
+        from repro.experiments import UnknownExperimentError
+
+        with pytest.raises(UnknownExperimentError, match="warpdrive"):
+            invoke(["run", "warpdrive", "--store", str(tmp_path)])
+
+
+def test_sweep_shares_the_store(tmp_path):
+    code, text = invoke(
+        [
+            "sweep", "wsubbug", "goffgratch",
+            "--store", str(tmp_path), "--json", *RUN_ARGS,
+        ]
+    )
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["failures"] == []
+    second = {
+        s["name"]: s
+        for s in doc["experiments"]["goffgratch"]["stages"]
+    }
+    assert second["control_ensemble"]["status"] == "hit"
+
+
+def test_tables_json_covers_the_40_modules():
+    code, text = invoke(["tables", "--json", "--top", "40"])
+    assert code == 0
+    degree, centrality = json.loads(text)
+    assert ["modules", 40] in degree["rows"]
+    assert len(centrality["rows"]) == 40
+
+
+def test_module_entry_point_exists():
+    import repro.__main__  # noqa: F401  (import side effects only)

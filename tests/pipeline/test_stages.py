@@ -1,0 +1,141 @@
+"""Stage adapters over the real model: rehydration, counters, facade."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import EnsembleSpec, generate_ensemble
+from repro.experiments import get_experiment
+from repro.pipeline import RootCauseAnalysis, accepted_ensemble, root_cause_pipeline
+from repro.refine import RefinementConfig
+
+SMALL_SPEC = EnsembleSpec(n_members=3, nsteps=1)
+
+#: the smallest wsubbug experiment that still detects and localizes
+SMALL_EXPERIMENT = get_experiment("wsubbug").with_(
+    members=6, nsteps=1, refine=RefinementConfig(members=4)
+)
+
+
+@pytest.fixture(scope="module")
+def small_run(tmp_path_factory):
+    store = tmp_path_factory.mktemp("stages-store")
+    result = RootCauseAnalysis(
+        SMALL_EXPERIMENT, store_dir=store, backend="serial"
+    ).run()
+    return store, result
+
+
+class TestAcceptedEnsemble:
+    def test_matches_direct_generation_bit_for_bit(self, tmp_path):
+        via_pipeline = accepted_ensemble(
+            SMALL_SPEC, store_dir=tmp_path, backend="serial"
+        )
+        direct = generate_ensemble(SMALL_SPEC, backend="serial")
+        np.testing.assert_array_equal(via_pipeline.matrix, direct.matrix)
+        assert via_pipeline.variable_names == direct.variable_names
+        assert via_pipeline.coverage == direct.coverage
+
+    def test_resume_rehydrates_from_member_cache(self, tmp_path):
+        first = accepted_ensemble(
+            SMALL_SPEC, store_dir=tmp_path, backend="serial"
+        )
+        again = accepted_ensemble(
+            SMALL_SPEC, store_dir=tmp_path, backend="serial"
+        )
+        assert again.cache_hits == SMALL_SPEC.n_members
+        assert again.cache_misses == 0
+        np.testing.assert_array_equal(again.matrix, first.matrix)
+        for mine, ref in zip(again.members, first.members):
+            assert mine.prng_draws == ref.prng_draws
+            assert mine.statements_executed == ref.statements_executed
+
+    def test_lost_member_artifact_heals_by_rerunning(self, tmp_path):
+        accepted_ensemble(SMALL_SPEC, store_dir=tmp_path, backend="serial")
+        victim = next((tmp_path / "members").glob("*.npz"))
+        victim.unlink()
+        healed = accepted_ensemble(
+            SMALL_SPEC, store_dir=tmp_path, backend="serial"
+        )
+        # the stage decode noticed the gap, fell back to generation, and
+        # generation recomputed exactly the missing member
+        assert healed.cache_misses >= 1
+        assert healed.n_members == SMALL_SPEC.n_members
+
+
+class TestRootCausePipeline:
+    def test_stage_names_and_order(self):
+        pipeline = root_cause_pipeline(SMALL_EXPERIMENT)
+        names = [s.name for s in pipeline.stages]
+        assert names.index("control_source") < names.index("control_ensemble")
+        assert names.index("control_ensemble") < names.index("ect")
+        assert names.index("ect") < names.index("ranked_slice")
+        assert names.index("ranked_slice") < names.index("refined")
+        assert names[-1] == "report"
+        assert "patched_source" in names  # wsubbug is a patched experiment
+
+    def test_control_experiment_has_no_patched_source(self):
+        from repro.experiments import ExperimentSpec
+
+        control = ExperimentSpec(name="control")
+        names = [s.name for s in root_cause_pipeline(control).stages]
+        assert "patched_source" not in names
+
+    def test_end_to_end_localizes_the_patch(self, small_run):
+        _, result = small_run
+        report = result["report"]
+        assert report.detected
+        assert "microp_aero" in report.refined_modules
+        assert report.localized
+        assert report.total_modules == 40
+
+    def test_member_counters_surface_in_records(self, small_run):
+        _, result = small_run
+        ensemble_record = result.record("control_ensemble")
+        assert ensemble_record.member_misses == SMALL_EXPERIMENT.members
+        assert result.record("experimental_runs").member_misses == 3
+        assert result.record("coverage_run").member_misses == 1
+
+    def test_resume_is_bit_identical_and_runs_no_members(self, small_run):
+        store, first = small_run
+        second = RootCauseAnalysis(
+            SMALL_EXPERIMENT, store_dir=store, backend="serial"
+        ).run()
+        cacheable = [r for r in second.records if r.cacheable]
+        assert cacheable and all(r.status == "hit" for r in cacheable)
+        assert sum(r.member_misses for r in second.records) == 0
+        np.testing.assert_array_equal(
+            second["control_ensemble"].matrix,
+            first["control_ensemble"].matrix,
+        )
+        assert second["report"].to_dict() == first["report"].to_dict()
+        assert second["ect"].consistent == first["ect"].consistent
+        np.testing.assert_array_equal(
+            second["ect"].run_scores, first["ect"].run_scores
+        )
+        assert second["ranked_slice"].modules == first["ranked_slice"].modules
+        assert second["refined"].modules == first["refined"].modules
+
+    def test_backend_choice_does_not_change_stage_keys(self):
+        serial = root_cause_pipeline(SMALL_EXPERIMENT, backend="serial")
+        process = root_cause_pipeline(
+            SMALL_EXPERIMENT, backend="process", max_workers=2
+        )
+        assert serial.keys() == process.keys()
+
+    def test_experiment_knobs_change_stage_keys(self):
+        base = root_cause_pipeline(SMALL_EXPERIMENT).keys()
+        bigger = root_cause_pipeline(
+            SMALL_EXPERIMENT.with_(members=7)
+        ).keys()
+        assert base["control_ensemble"] != bigger["control_ensemble"]
+        # target_modules only parameterizes the report stage
+        retarget = root_cause_pipeline(
+            SMALL_EXPERIMENT.with_(target_modules=5)
+        ).keys()
+        assert base["refined"] == retarget["refined"]
+        assert base["report"] != retarget["report"]
+
+    def test_facade_resolves_experiment_names(self, tmp_path):
+        analysis = RootCauseAnalysis("wsubbug", store_dir=tmp_path)
+        assert analysis.experiment.patch == "wsubbug"
+        assert analysis.pipeline.stage("report") is not None

@@ -1,0 +1,74 @@
+"""ArtifactStore: payloads, atomicity conventions, counters."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import ArtifactStore, StoreError, json_payload, payload_json
+
+
+def test_round_trip_json_and_arrays(tmp_path):
+    store = ArtifactStore(tmp_path)
+    payload = json_payload(
+        {"modules": ["a", "b"], "weight": 1.5},
+        arrays={"matrix": np.arange(6.0).reshape(2, 3)},
+    )
+    store.save("k1", payload)
+    loaded = store.load("k1")
+    assert payload_json(loaded) == {"modules": ["a", "b"], "weight": 1.5}
+    np.testing.assert_array_equal(loaded["matrix"], payload["matrix"])
+
+
+def test_json_floats_round_trip_exactly(tmp_path):
+    store = ArtifactStore(tmp_path)
+    value = 0.1 + 0.2  # not representable; repr round-trips bit-exactly
+    store.save("k", json_payload({"v": value}))
+    assert payload_json(store.load("k"))["v"] == value
+
+
+def test_miss_and_hit_counters(tmp_path):
+    store = ArtifactStore(tmp_path)
+    assert store.load("absent") is None
+    store.save("k", json_payload({}))
+    assert store.load("k") is not None
+    assert store.stats() == {"hits": 1, "misses": 1, "writes": 1, "entries": 1}
+
+
+def test_contains(tmp_path):
+    store = ArtifactStore(tmp_path)
+    assert "k" not in store
+    store.save("k", json_payload({}))
+    assert "k" in store
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.save("k", json_payload({"x": 1}))
+    (tmp_path / "k.npz").write_bytes(b"not a zip archive")
+    assert store.load("k") is None
+    assert store.misses == 1
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.save("k", json_payload({"x": 1}))
+    path = tmp_path / "k.npz"
+    path.write_bytes(path.read_bytes()[:10])
+    assert store.load("k") is None
+
+
+def test_reserved_array_name_rejected():
+    with pytest.raises(StoreError, match="reserved"):
+        json_payload({}, arrays={"__json__": np.zeros(1)})
+
+
+def test_payload_without_json_entry_raises():
+    with pytest.raises(StoreError, match="no valid JSON"):
+        payload_json({"matrix": np.zeros(1)})
+
+
+def test_loaded_arrays_survive_store_deletion(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.save("k", json_payload({}, arrays={"a": np.ones(4)}))
+    loaded = store.load("k")
+    (tmp_path / "k.npz").unlink()
+    np.testing.assert_array_equal(loaded["a"], np.ones(4))

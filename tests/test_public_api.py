@@ -24,6 +24,9 @@ IMPLEMENTED_MODULES = {
     "repro.slicing",
     "repro.analysis",
     "repro.refine",
+    "repro.pipeline",
+    "repro.experiments",
+    "repro.reporting",
 }
 
 IMPLEMENTED = sorted(
