@@ -43,11 +43,22 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     "PatchError": ("repro.model", "PatchError"),
     # runtime
     "run_model": ("repro.runtime", "run_model"),
+    "run_model_batch": ("repro.runtime", "run_model_batch"),
     "RunConfig": ("repro.runtime", "RunConfig"),
     "RunResult": ("repro.runtime", "RunResult"),
     "FPConfig": ("repro.runtime", "FPConfig"),
     "CoverageTrace": ("repro.runtime", "CoverageTrace"),
     "Interpreter": ("repro.runtime", "Interpreter"),
+    "MemberBatch": ("repro.runtime", "MemberBatch"),
+    "VecInterpreter": ("repro.runtime", "VecInterpreter"),
+    "VectorizationError": ("repro.runtime", "VectorizationError"),
+    # kernel extraction
+    "Kernel": ("repro.kgen", "Kernel"),
+    "KernelError": ("repro.kgen", "KernelError"),
+    "KernelReport": ("repro.kgen", "KernelReport"),
+    "extract_default_kernels": ("repro.kgen", "extract_default_kernels"),
+    "extract_kernel": ("repro.kgen", "extract_kernel"),
+    "verify_kernel": ("repro.kgen", "verify_kernel"),
     # graph
     "MetaGraph": ("repro.graphs", "MetaGraph"),
     "build_metagraph": ("repro.graphs", "build_metagraph"),

@@ -46,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--backend",
             default=None,
             help="execution backend for member fan-outs "
-            "(serial/thread/process; default: library default)",
+            "(serial/thread/process/vectorized; default: library default)",
         )
         p.add_argument(
             "--max-workers", type=int, default=None, help="pool width"
@@ -145,9 +145,33 @@ def _print_stage_table(result, out) -> None:
         )
 
 
+#: exit code for bad experiment/backend names — distinct from exit 1,
+#: which means "ran fine but did not localize"
+EX_USAGE = 2
+
+
+def _validate_names(args) -> Optional[str]:
+    """Resolve the experiment and backend names up front; the error
+    message (naming every known candidate) on a bad one, else None."""
+    from .ensemble.backends import UnknownBackendError, get_backend
+    from .experiments import UnknownExperimentError
+
+    try:
+        _resolve_experiment(args)
+        if args.backend is not None:
+            get_backend(args.backend, max_workers=args.max_workers)
+    except (UnknownExperimentError, UnknownBackendError) as exc:
+        return str(exc)
+    return None
+
+
 def _cmd_run(args, out) -> int:
     from .pipeline import RootCauseAnalysis
 
+    error = _validate_names(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return EX_USAGE
     result = RootCauseAnalysis(
         _resolve_experiment(args),
         store_dir=args.store,
@@ -169,6 +193,12 @@ def _cmd_sweep(args, out) -> int:
     from .pipeline import RootCauseAnalysis
 
     names = args.experiments or list_experiments()
+    for name in names:
+        sweep_args = argparse.Namespace(**{**vars(args), "experiment": name})
+        error = _validate_names(sweep_args)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return EX_USAGE
     documents, failures = {}, []
     for name in names:
         sweep_args = argparse.Namespace(**{**vars(args), "experiment": name})

@@ -3,7 +3,7 @@
 ``generate_ensemble`` is a *coordinator*: it derives member configs,
 consults the artifact cache, and hands the cache misses to an
 :class:`ExecutionBackend` that decides **where** the interpreter runs.
-Three backends ship:
+Four backends ship:
 
 ``serial``
     Run members one after another in the calling thread.  The reference
@@ -27,10 +27,18 @@ Three backends ship:
     (plain arrays + counters), never interpreter internals, so the IPC
     payload stays small and version-stable.
 
+``vectorized``
+    One member-batched interpreter pass (:mod:`repro.runtime.vec`) that
+    advances every member at once over numpy arrays carrying a leading
+    member axis.  Single-core and GIL-friendly, it beats the scalar
+    backends by an order of magnitude on wide ensembles; members whose
+    configs differ in more than ``pertlim``/``seed`` fall into separate
+    batches automatically.
+
 Every backend maps the same ``(index, RunConfig)`` list to the same
-artifacts — the interpreter is deterministic, so ``serial``, ``thread``
-and ``process`` produce bit-identical ensembles (a conformance test holds
-them to that).
+artifacts — the interpreter is deterministic, so ``serial``, ``thread``,
+``process`` and ``vectorized`` produce bit-identical ensembles (a
+conformance test holds them to that).
 
 Backends are looked up by name via :func:`get_backend`; the selection knob
 on :class:`~repro.ensemble.spec.EnsembleSpec` / ``generate_ensemble`` and
@@ -58,6 +66,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "UnknownBackendError",
+    "VectorizedBackend",
     "get_backend",
     "list_backends",
     "register_backend",
@@ -273,6 +282,47 @@ class ProcessBackend(ExecutionBackend):
         )
 
 
+class VectorizedBackend(ExecutionBackend):
+    """Member-batched backend: one interpreter pass advances every member.
+
+    Jobs are grouped by everything :func:`repro.runtime.vec.run_model_batch`
+    requires to be uniform (nsteps, fp model, coverage flag, statement
+    budget — the model build is already fixed by ``source``), so a mixed
+    job list still runs correctly, just in one batch per group.  Falls back
+    to nothing: a model the vectorized runtime cannot express raises
+    :class:`~repro.runtime.VectorizationError` rather than silently
+    degrading, and the caller picks a scalar backend instead.
+    """
+
+    name = "vectorized"
+
+    def run_members(
+        self,
+        source: ModelSource,
+        jobs: list[tuple[int, RunConfig]],
+    ) -> Iterator[tuple[int, RunArtifact]]:
+        from ..runtime.vec import run_model_batch
+
+        groups: dict[tuple, list[tuple[int, RunConfig]]] = {}
+        for index, config in jobs:
+            token = (
+                config.nsteps,
+                config.fp,
+                config.collect_coverage,
+                config.max_statements,
+            )
+            groups.setdefault(token, []).append((index, config))
+        for batch in groups.values():
+            results = run_model_batch(
+                [config for _, config in batch], source=source
+            )
+            for (index, config), result in zip(batch, results):
+                artifact = RunArtifact.from_result(
+                    result, member_cache_key(source, config)
+                )
+                yield index, artifact
+
+
 # --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
@@ -297,6 +347,7 @@ def list_backends() -> list[str]:
 register_backend("serial", lambda max_workers=None: SerialBackend())
 register_backend("thread", ThreadBackend)
 register_backend("process", ProcessBackend)
+register_backend("vectorized", lambda max_workers=None: VectorizedBackend())
 
 
 def resolve_backend_name(*candidates: Optional[str]) -> str:

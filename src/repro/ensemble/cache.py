@@ -143,7 +143,12 @@ class MemberCache:
             dir=self.directory, prefix=".tmp-", suffix=".npz"
         )
         try:
-            with os.fdopen(fd, "wb") as handle:
+            try:
+                handle = os.fdopen(fd, "wb")
+            except BaseException:
+                os.close(fd)  # fdopen failed: the raw fd is still ours
+                raise
+            with handle:
                 np.savez_compressed(handle, **payload)
             os.replace(tmp, self._path(artifact.config_key))
         except BaseException:

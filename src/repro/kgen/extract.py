@@ -1,0 +1,486 @@
+"""AST-to-numpy kernel extraction.
+
+The extractor walks a subprogram's cached AST (the same parse the
+interpreter and the metagraph builder share) and emits the source of a
+standalone numpy function: straight-line assignments become array
+expressions, ``if``/``elseif``/``else`` blocks become sequential
+``np.where`` merges under accumulated branch masks, references to
+``use``-associated constants are resolved through a scalar interpreter's
+module scopes and baked in as literals, and calls to other extractable
+functions become calls to recursively extracted kernels.
+
+Everything outside that subset — loops, subroutine calls, array
+subscripts, I/O — raises :class:`KernelError`: a kernel either fully
+vectorizes or is not generated at all.  Generated kernels are *candidates*
+until :func:`verify_kernel` has measured their normalized RMS deviation
+from the scalar interpreter over a sample grid and found it within the
+conformance bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..fortran.ast_nodes import (
+    Apply,
+    Assignment,
+    BinOp,
+    Declaration,
+    Expr,
+    IfBlock,
+    LogicalLit,
+    NumberLit,
+    Stmt,
+    Subprogram,
+    UnaryOp,
+    VarRef,
+)
+from ..model.builder import ModelConfig, ModelSource, build_model_source
+from ..runtime.interpreter import Interpreter
+
+__all__ = [
+    "DEFAULT_KERNEL_TARGETS",
+    "Kernel",
+    "KernelError",
+    "KernelReport",
+    "KernelTarget",
+    "extract_default_kernels",
+    "extract_kernel",
+    "nrms",
+    "verify_kernel",
+]
+
+
+class KernelError(ValueError):
+    """The subprogram uses a construct the kernel extractor cannot express."""
+
+
+#: Fortran intrinsic -> numpy callable name in the kernel namespace
+_INTRINSIC_MAP = {
+    "abs": "np.abs",
+    "acos": "np.arccos",
+    "asin": "np.arcsin",
+    "atan": "np.arctan",
+    "atan2": "np.arctan2",
+    "cos": "np.cos",
+    "cosh": "np.cosh",
+    "exp": "np.exp",
+    "log": "np.log",
+    "log10": "np.log10",
+    "mod": "np.fmod",
+    "sin": "np.sin",
+    "sinh": "np.sinh",
+    "sqrt": "np.sqrt",
+    "tan": "np.tan",
+    "tanh": "np.tanh",
+}
+
+#: n-ary fold intrinsics
+_FOLD_MAP = {"max": "np.maximum", "min": "np.minimum"}
+
+_BINOPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "**": "**",
+    "==": "==",
+    "/=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+_SCALAR_INITS = {"real": "0.0", "integer": "0", "logical": "False"}
+
+
+@dataclass
+class Kernel:
+    """One generated, executable numpy kernel."""
+
+    module: str
+    function: str
+    arg_names: list[str]
+    source: str
+    fn: Callable
+
+    def __call__(self, *args, **kwargs):
+        return self.fn(*args, **kwargs)
+
+
+@dataclass
+class KernelReport:
+    """Conformance measurement of a kernel against the scalar interpreter."""
+
+    kernel: Kernel
+    n_samples: int
+    nrms: float
+    tol: float
+
+    @property
+    def conformant(self) -> bool:
+        return self.nrms <= self.tol
+
+
+@dataclass(frozen=True)
+class KernelTarget:
+    """A named extraction target with plausible per-argument sample ranges."""
+
+    module: str
+    function: str
+    ranges: tuple[tuple[str, float, float], ...]
+
+
+#: the model's hot elemental functions (microphysics / radiation inner loops)
+DEFAULT_KERNEL_TARGETS: tuple[KernelTarget, ...] = (
+    KernelTarget(
+        "wv_saturation", "goffgratch_svp", (("t", 180.0, 330.0),)
+    ),
+    KernelTarget("wv_saturation", "svp_ice", (("t", 180.0, 280.0),)),
+    KernelTarget(
+        "wv_saturation",
+        "qsat_water",
+        (("t", 180.0, 330.0), ("p", 5.0e3, 1.1e5)),
+    ),
+    KernelTarget("radsw", "gravity_norm", (("pdel", 0.5, 1.0e4),)),
+)
+
+
+def nrms(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalized RMS deviation of ``a`` from the reference ``b``:
+    ``sqrt(mean((a-b)**2)) / max(|b|)`` (denominator 1 when ``b`` is all
+    zero), the conformance metric kernels are gated on."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    scale = float(np.max(np.abs(b))) if b.size else 0.0
+    if scale == 0.0:
+        scale = 1.0
+    return float(np.sqrt(np.mean(np.square(a - b)))) / scale
+
+
+class _Extractor:
+    """Translates one subprogram AST into numpy function source."""
+
+    def __init__(self, interp: Interpreter, module: str):
+        self.interp = interp
+        self.mrt = interp.module(module)
+        self.module = module
+        self.deps: dict[str, "Kernel"] = {}
+        self.locals: set[str] = set()
+        self.lines: list[str] = []
+        self._mask_n = 0
+
+    # ------------------------------------------------------- expressions
+    def expr(self, node: Expr) -> str:
+        if isinstance(node, NumberLit):
+            if node.is_integer:
+                return repr(int(node.value))
+            return repr(float(node.value))
+        if isinstance(node, LogicalLit):
+            return "True" if node.value else "False"
+        if isinstance(node, VarRef):
+            if node.name in self.locals:
+                return node.name
+            return self._constant(node.name)
+        if isinstance(node, UnaryOp):
+            if node.op == "-":
+                return f"(-{self.expr(node.operand)})"
+            if node.op == "+":
+                return self.expr(node.operand)
+            if node.op == ".not.":
+                return f"np.logical_not({self.expr(node.operand)})"
+            raise KernelError(f"unsupported unary operator {node.op!r}")
+        if isinstance(node, BinOp):
+            if node.op == ".and.":
+                return f"({self.expr(node.left)}) & ({self.expr(node.right)})"
+            if node.op == ".or.":
+                return f"({self.expr(node.left)}) | ({self.expr(node.right)})"
+            op = _BINOPS.get(node.op)
+            if op is None:
+                raise KernelError(
+                    f"unsupported binary operator {node.op!r}"
+                )
+            return f"({self.expr(node.left)} {op} {self.expr(node.right)})"
+        if isinstance(node, Apply):
+            return self._apply(node)
+        raise KernelError(
+            f"unsupported expression node {type(node).__name__}"
+        )
+
+    def _apply(self, node: Apply) -> str:
+        if node.keywords:
+            raise KernelError(
+                f"keyword arguments in call to {node.name!r} are not "
+                "supported"
+            )
+        args = [self.expr(a) for a in node.args]
+        lowered = node.name.lower()
+        fold = _FOLD_MAP.get(lowered)
+        if fold is not None:
+            if not args:
+                raise KernelError(f"{lowered}() needs arguments")
+            out = args[0]
+            for a in args[1:]:
+                out = f"{fold}({out}, {a})"
+            return out
+        mapped = _INTRINSIC_MAP.get(lowered)
+        if mapped is not None:
+            return f"{mapped}({', '.join(args)})"
+        resolved = self.interp._lookup_proc(self.mrt, node.name, frozenset())
+        if resolved is not None:
+            target_mrt, sub = resolved
+            dep = self.deps.get(sub.name)
+            if dep is None:
+                dep = extract_kernel(
+                    self.interp, target_mrt.node.name, sub.name,
+                    _deps=self.deps,
+                )
+                self.deps[sub.name] = dep
+            return f"_k_{sub.name}({', '.join(args)})"
+        raise KernelError(
+            f"cannot extract reference {node.name!r} (array subscript, "
+            "unknown function, or unsupported intrinsic)"
+        )
+
+    def _constant(self, name: str) -> str:
+        """A module-level or use-associated constant, baked as a literal."""
+        scope = None
+        if name in self.mrt.scope:
+            scope = self.mrt.scope
+            rname = name
+        else:
+            found = self.interp._resolve_use_var(self.mrt, name, frozenset())
+            if found is not None:
+                scope, rname = found
+        if scope is None:
+            raise KernelError(
+                f"unresolvable name {name!r} in {self.module!r}"
+            )
+        value = scope.get(rname)
+        if isinstance(value, (bool, np.bool_)):
+            return "True" if value else "False"
+        if isinstance(value, (int, np.integer)):
+            return repr(int(value))
+        if isinstance(value, (float, np.floating)):
+            return repr(float(value))
+        raise KernelError(
+            f"constant {name!r} is not a scalar (got "
+            f"{type(value).__name__})"
+        )
+
+    # -------------------------------------------------------- statements
+    def emit(self, stmts: list[Stmt], mask: Optional[str], indent: str):
+        for stmt in stmts:
+            if isinstance(stmt, Assignment):
+                self._emit_assignment(stmt, mask, indent)
+            elif isinstance(stmt, IfBlock):
+                self._emit_if(stmt, mask, indent)
+            else:
+                raise KernelError(
+                    f"unsupported statement {type(stmt).__name__} at "
+                    f"{stmt.location}"
+                )
+
+    def _emit_assignment(
+        self, stmt: Assignment, mask: Optional[str], indent: str
+    ):
+        if not isinstance(stmt.target, VarRef):
+            raise KernelError(
+                f"only scalar assignment targets are supported (at "
+                f"{stmt.location})"
+            )
+        name = stmt.target.name
+        if name not in self.locals:
+            raise KernelError(
+                f"assignment to non-local {name!r} at {stmt.location}"
+            )
+        value = self.expr(stmt.value)
+        if mask is None:
+            self.lines.append(f"{indent}{name} = {value}")
+        else:
+            self.lines.append(
+                f"{indent}{name} = np.where({mask}, {value}, {name})"
+            )
+
+    def _emit_if(self, stmt: IfBlock, mask: Optional[str], indent: str):
+        remaining: Optional[str] = mask
+        first = True
+        for cond, body in stmt.branches:
+            if cond is None:
+                # else branch: everything still remaining
+                branch = remaining if remaining is not None else "True"
+                if branch == "True":
+                    self.emit(body, None, indent)
+                else:
+                    self.emit(body, branch, indent)
+                return
+            n = self._mask_n
+            self._mask_n += 1
+            cond_src = self.expr(cond)
+            if first and remaining is None:
+                self.lines.append(f"{indent}_m{n} = np.asarray({cond_src})")
+            else:
+                self.lines.append(
+                    f"{indent}_m{n} = np.asarray({cond_src}) & {remaining}"
+                    if remaining is not None
+                    else f"{indent}_m{n} = np.asarray({cond_src})"
+                )
+            self.emit(body, f"_m{n}", indent)
+            prev = remaining
+            if prev is None:
+                remaining = f"~_m{n}"
+            else:
+                remaining = f"(~_m{n} & {prev})"
+            first = False
+
+
+def _declared_locals(sub: Subprogram) -> dict[str, str]:
+    """name -> base type of every declared entity (args included)."""
+    out: dict[str, str] = {}
+    for decl in sub.declarations:
+        if not isinstance(decl, Declaration):
+            continue
+        for entity in decl.entities:
+            if entity.dims:
+                raise KernelError(
+                    f"array local {entity.name!r} is not supported"
+                )
+            out[entity.name] = decl.base_type
+    return out
+
+
+def extract_kernel(
+    source,
+    module: str,
+    function: str,
+    _deps: Optional[dict] = None,
+) -> Kernel:
+    """Extract ``module::function`` into a standalone numpy kernel.
+
+    ``source`` is a :class:`~repro.model.builder.ModelSource`, a
+    :class:`~repro.model.ModelConfig`, ``None`` (the control build) — or an
+    already-constructed scalar :class:`Interpreter` when extracting several
+    kernels against one build.  Raises :class:`KernelError` when the
+    function falls outside the vectorizable subset.
+    """
+    if isinstance(source, Interpreter):
+        interp = source
+    else:
+        if source is None or isinstance(source, ModelConfig):
+            source = build_model_source(source)
+        interp = Interpreter(source.parse(), collect_coverage=False)
+    resolved = interp._lookup_proc(
+        interp.module(module), function, frozenset()
+    )
+    if resolved is None:
+        raise KernelError(f"no function {function!r} in module {module!r}")
+    target_mrt, sub = resolved
+    if not sub.is_function:
+        raise KernelError(f"{function!r} is a subroutine, not a function")
+    # re-anchor on the defining module (function may be use-associated)
+    ex = _Extractor(interp, target_mrt.node.name)
+    if _deps is not None:
+        ex.deps = _deps
+
+    decls = _declared_locals(sub)
+    ex.locals = set(sub.args) | set(decls) | {sub.result}
+    header = f"def _kernel({', '.join(sub.args)}):"
+    ex.lines.append(header)
+    for name, base_type in decls.items():
+        if name in sub.args:
+            continue
+        init = _SCALAR_INITS.get(base_type)
+        if init is None:
+            raise KernelError(
+                f"local {name!r} has unsupported type {base_type!r}"
+            )
+        ex.lines.append(f"    {name} = {init}")
+    if sub.result not in decls and sub.result not in sub.args:
+        ex.lines.append(f"    {sub.result} = 0.0")
+    ex.emit(sub.body, None, "    ")
+    ex.lines.append(f"    return {sub.result}")
+    text = "\n".join(ex.lines) + "\n"
+
+    namespace: dict = {"np": np}
+    for dep_name, dep in ex.deps.items():
+        namespace[f"_k_{dep_name}"] = dep.fn
+    exec(compile(text, f"<kernel {module}::{function}>", "exec"), namespace)
+    return Kernel(
+        module=target_mrt.node.name,
+        function=function,
+        arg_names=list(sub.args),
+        source=text,
+        fn=namespace["_kernel"],
+    )
+
+
+def verify_kernel(
+    kernel: Kernel,
+    source=None,
+    samples: Optional[dict[str, np.ndarray]] = None,
+    ranges: Optional[tuple[tuple[str, float, float], ...]] = None,
+    n_samples: int = 256,
+    seed: int = 20190624,
+    tol: float = 1.0e-12,
+) -> KernelReport:
+    """Measure a kernel's normalized-RMS deviation from the scalar
+    interpreter over a sample grid.
+
+    ``samples`` maps argument names to equal-length 1-D arrays; without it,
+    ``ranges`` (``(name, lo, hi)`` triples, e.g. from a
+    :class:`KernelTarget`) drive a deterministic uniform draw.  The kernel
+    is conformant when ``nrms <= tol`` — the default bound of ``1e-12``
+    admits only reassociation-level deviations, and in practice the
+    extracted kernels reproduce the interpreter bit-for-bit.
+    """
+    if isinstance(source, Interpreter):
+        interp = source
+    else:
+        if source is None or isinstance(source, ModelConfig):
+            source = build_model_source(source)
+        interp = Interpreter(source.parse(), collect_coverage=False)
+    if samples is None:
+        if ranges is None:
+            raise ValueError("verify_kernel needs samples or ranges")
+        rng = np.random.default_rng(seed)
+        samples = {
+            name: rng.uniform(lo, hi, size=n_samples)
+            for name, lo, hi in ranges
+        }
+    columns = [np.asarray(samples[name], float) for name in kernel.arg_names]
+    count = len(columns[0]) if columns else 0
+    got = np.asarray(kernel.fn(*columns), dtype=np.float64)
+    want = np.empty(count, dtype=np.float64)
+    for i in range(count):
+        want[i] = float(
+            interp.call(
+                kernel.module,
+                kernel.function,
+                [float(col[i]) for col in columns],
+            )
+        )
+    return KernelReport(
+        kernel=kernel, n_samples=count, nrms=nrms(got, want), tol=tol
+    )
+
+
+def extract_default_kernels(
+    source=None, tol: float = 1.0e-12
+) -> list[KernelReport]:
+    """Extract and verify every :data:`DEFAULT_KERNEL_TARGETS` entry
+    against one shared build; non-conformant kernels are still returned
+    (``report.conformant`` is False) so callers decide the gate."""
+    if source is None or isinstance(source, ModelConfig):
+        source = build_model_source(source)
+    interp = Interpreter(source.parse(), collect_coverage=False)
+    reports = []
+    for target in DEFAULT_KERNEL_TARGETS:
+        kernel = extract_kernel(interp, target.module, target.function)
+        reports.append(
+            verify_kernel(kernel, interp, ranges=target.ranges, tol=tol)
+        )
+    return reports

@@ -38,7 +38,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..ensemble.cache import MemberCache, _json_safe
-from .store import ArtifactStore, StoreError
+from .store import ArtifactStore, StoreError, find_nonfinite
 
 __all__ = [
     "Pipeline",
@@ -141,7 +141,19 @@ class Stage:
                 [name, input_fingerprints[name]] for name in self.inputs
             ],
         }
-        h.update(json.dumps(token, sort_keys=True).encode())
+        try:
+            h.update(
+                json.dumps(token, sort_keys=True, allow_nan=False).encode()
+            )
+        except ValueError as exc:
+            # config_token hex-encodes floats, so a NaN here means a raw
+            # non-finite snuck into params — which would hash as the
+            # non-canonical token `NaN` and never match its own recompute
+            where = find_nonfinite(token)
+            raise PipelineError(
+                f"stage {self.name!r} cache token carries a non-finite "
+                f"float at {where or '<unknown>'}"
+            ) from exc
         return h.hexdigest()
 
 

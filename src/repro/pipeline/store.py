@@ -31,7 +31,13 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
-__all__ = ["ArtifactStore", "StoreError", "json_payload", "payload_json"]
+__all__ = [
+    "ArtifactStore",
+    "StoreError",
+    "find_nonfinite",
+    "json_payload",
+    "payload_json",
+]
 
 #: reserved payload key carrying the JSON side-channel
 JSON_KEY = "__json__"
@@ -41,18 +47,51 @@ class StoreError(ValueError):
     """Raised when a stage payload cannot be encoded or decoded."""
 
 
+def find_nonfinite(obj: Any, path: str = "$") -> Optional[str]:
+    """JSONPath-ish location of the first NaN/Infinity in ``obj``, or None.
+
+    Used to turn the bare ``ValueError`` from ``json.dumps(...,
+    allow_nan=False)`` into an error that names the offending field —
+    ``NaN`` would otherwise serialize as the *non-JSON* token ``NaN``,
+    produce a payload ``payload_json`` cannot read back, and (in cache
+    keys) hash unequal to every re-computation of itself.
+    """
+    if isinstance(obj, float) and not np.isfinite(obj):
+        return path
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            found = find_nonfinite(value, f"{path}.{key}")
+            if found is not None:
+                return found
+    elif isinstance(obj, (list, tuple)):
+        for i, value in enumerate(obj):
+            found = find_nonfinite(value, f"{path}[{i}]")
+            if found is not None:
+                return found
+    return None
+
+
 def json_payload(
     obj: Any, arrays: Optional[Mapping[str, np.ndarray]] = None
 ) -> dict[str, np.ndarray]:
     """A store payload carrying ``obj`` as JSON plus optional bulk arrays.
 
-    ``obj`` must be JSON-serializable; array names must not collide with
+    ``obj`` must be strictly JSON-serializable — NaN/Infinity raise
+    :class:`StoreError` naming the offending field rather than writing a
+    payload the loader would reject; array names must not collide with
     the reserved JSON key.  The JSON text is canonical (sorted keys), so
     identical objects always produce byte-identical payload entries.
     """
-    payload: dict[str, np.ndarray] = {
-        JSON_KEY: np.array([json.dumps(obj, sort_keys=True)])
-    }
+    try:
+        text = json.dumps(obj, sort_keys=True, allow_nan=False)
+    except ValueError as exc:
+        where = find_nonfinite(obj)
+        raise StoreError(
+            "payload JSON carries a non-finite float at "
+            f"{where or '<unknown>'}; drop or encode the value (e.g. as a "
+            "string) before storing"
+        ) from exc
+    payload: dict[str, np.ndarray] = {JSON_KEY: np.array([text])}
     for name, value in (arrays or {}).items():
         if name == JSON_KEY:
             raise StoreError(f"array name {name!r} is reserved")
@@ -116,7 +155,12 @@ class ArtifactStore:
             dir=self.directory, prefix=".tmp-", suffix=".npz"
         )
         try:
-            with os.fdopen(fd, "wb") as handle:
+            try:
+                handle = os.fdopen(fd, "wb")
+            except BaseException:
+                os.close(fd)  # fdopen failed: the raw fd is still ours
+                raise
+            with handle:
                 np.savez_compressed(
                     handle, **{k: np.asarray(v) for k, v in payload.items()}
                 )

@@ -7,6 +7,9 @@ with the metagraph builder, so numbers and digraph always describe one build.
 The stable entry point is :func:`run_model`; downstream modules
 (``repro.ensemble``, ``repro.ect``, ``repro.coverage``, ``repro.slicing``)
 consume only :class:`RunResult` and never touch evaluator internals.
+:func:`run_model_batch` (:mod:`repro.runtime.vec`) is the member-batched
+variant: one vectorized evaluation advances a whole ensemble and returns a
+bit-identical :class:`RunResult` per member.
 
 ``RunConfig`` knobs
 -------------------
@@ -60,16 +63,20 @@ from .interpreter import (
     StatementLimitExceeded,
     StopModel,
 )
-from .prng import PRNGStreams, Stream
+from .prng import BatchedPRNGStreams, BatchedStream, PRNGStreams, Stream
 from .values import (
     DerivedValue,
     FortranRuntimeError,
     IntentViolationError,
+    MemberBatch,
     Scope,
     UndefinedNameError,
+    VectorizationError,
 )
 
 __all__ = [
+    "BatchedPRNGStreams",
+    "BatchedStream",
     "CoverageTrace",
     "DerivedValue",
     "FPConfig",
@@ -78,6 +85,7 @@ __all__ = [
     "History",
     "IntentViolationError",
     "Interpreter",
+    "MemberBatch",
     "PRNGStreams",
     "RunConfig",
     "RunResult",
@@ -86,7 +94,10 @@ __all__ = [
     "StopModel",
     "Stream",
     "UndefinedNameError",
+    "VecInterpreter",
+    "VectorizationError",
     "run_model",
+    "run_model_batch",
 ]
 
 
@@ -279,3 +290,7 @@ def run_model(
         prng_draws=interp.prng.total_draws(),
         first_outputs=first_outputs,
     )
+
+
+# imported last: repro.runtime.vec needs RunConfig/RunResult at call time
+from .vec import VecInterpreter, run_model_batch  # noqa: E402

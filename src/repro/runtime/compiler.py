@@ -87,6 +87,10 @@ class NodeCompiler:
 
     __slots__ = ("interp", "expr_cache", "stmt_cache", "body_cache")
 
+    #: expression-intrinsic implementations call sites specialise on; the
+    #: vectorized compiler swaps in member-batch-aware wrappers
+    _intrinsic_table = INTRINSIC_FUNCTIONS
+
     def __init__(self, interp):
         self.interp = interp
         #: id(node) -> (node, closure); the node reference pins the id
@@ -398,7 +402,7 @@ class NodeCompiler:
                 return lambda f: interp._eval_apply(node, f)
             arg_name = node.args[0].name
             return lambda f: arg_name not in f.optional_missing
-        fn = INTRINSIC_FUNCTIONS.get(lowered)
+        fn = self._intrinsic_table.get(lowered)
         if fn is not None:
             arg_fns = [self.expr(a) for a in node.args]
             if node.keywords:
@@ -522,32 +526,8 @@ class NodeCompiler:
         if t is WhereBlock:
             return self._build_where(node)
         account = self._account_fn(node)
-        if t is ReturnStmt:
-            def run_return(frame):
-                account()
-                raise _Return()
-
-            return run_return
-        if t is ExitStmt:
-            def run_exit(frame):
-                account()
-                raise _Exit()
-
-            return run_exit
-        if t is CycleStmt:
-            def run_cycle(frame):
-                account()
-                raise _Cycle()
-
-            return run_cycle
-        if t is StopStmt:
-            message = node.message
-
-            def run_stop(frame):
-                account()
-                raise StopModel(message)
-
-            return run_stop
+        if t in (ReturnStmt, ExitStmt, CycleStmt, StopStmt):
+            return self._build_flow_stmt(node, account)
         if t is ContinueStmt:
             return lambda frame: account()
         # anything else keeps the dispatch interpreter's behaviour exactly
@@ -569,6 +549,36 @@ class NodeCompiler:
             handler(node, frame)
 
         return run
+
+    def _build_flow_stmt(self, node: Stmt, account: Callable) -> Callable:
+        """``return`` / ``exit`` / ``cycle`` / ``stop`` (overridable: the
+        vectorized compiler refuses these under diverged member masks)."""
+        t = type(node)
+        if t is ReturnStmt:
+            def run_return(frame):
+                account()
+                raise _Return()
+
+            return run_return
+        if t is ExitStmt:
+            def run_exit(frame):
+                account()
+                raise _Exit()
+
+            return run_exit
+        if t is CycleStmt:
+            def run_cycle(frame):
+                account()
+                raise _Cycle()
+
+            return run_cycle
+        message = node.message
+
+        def run_stop(frame):
+            account()
+            raise StopModel(message)
+
+        return run_stop
 
     # ------------------------------------------------------- assignment
     def _build_assignment(self, node) -> Callable:

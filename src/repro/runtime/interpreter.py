@@ -262,8 +262,12 @@ class Interpreter:
         #: per-AST-node memoized evaluators (None => pure dispatch walking,
         #: the reference semantics the compiled path must match bit-for-bit)
         self._compiler: Optional[NodeCompiler] = (
-            NodeCompiler(self) if compile else None
+            self._compiler_factory(self) if compile else None
         )
+
+    #: the closure compiler this interpreter builds when ``compile=True``;
+    #: subclasses (the vectorized runtime) swap in their own
+    _compiler_factory = NodeCompiler
 
     # ------------------------------------------------------------------ API
     @classmethod
@@ -580,9 +584,7 @@ class Interpreter:
             # partially-bound call never evaluates side-effecting actuals twice
         ):
             values = [self.eval(pairs[dummy], caller_frame) for dummy in sub.args]
-            if any(isinstance(v, np.ndarray) for v in values):
-                return self._call_elemental(mrt, sub, values)
-            return self._call_with_values(mrt, sub, values, caller_frame)
+            return self._dispatch_elemental(mrt, sub, values, caller_frame)
 
         frame = Frame(mrt, sub, Scope(f"{mrt.node.name}:{sub.name}"), caller_frame)
         writebacks: list[tuple[Ref, str]] = []
@@ -655,6 +657,16 @@ class Interpreter:
             if found is not None:
                 frame.scope.define(rename.local, found[0].get(found[1]))
             # procedures imported this way resolve through _lookup_proc
+
+    def _dispatch_elemental(
+        self, mrt: ModuleRuntime, sub: Subprogram, values: list, caller_frame
+    ):
+        """Route a fully-bound elemental function call: broadcast over array
+        arguments, plain call otherwise (overridden by the vectorized
+        runtime, which must not collapse member batches element-wise)."""
+        if any(isinstance(v, np.ndarray) for v in values):
+            return self._call_elemental(mrt, sub, values)
+        return self._call_with_values(mrt, sub, values, caller_frame)
 
     def _call_elemental(self, mrt: ModuleRuntime, sub: Subprogram, values: list):
         """Broadcast an elemental function over its array arguments."""

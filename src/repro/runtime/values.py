@@ -32,6 +32,7 @@ __all__ = [
     "ElementRef",
     "FortranRuntimeError",
     "IntentViolationError",
+    "MemberBatch",
     "Ref",
     "Scope",
     "ScopeRef",
@@ -39,6 +40,7 @@ __all__ = [
     "StatementLimitExceeded",
     "StopModel",
     "UndefinedNameError",
+    "VectorizationError",
     "fortran_index",
     "fortran_slices",
 ]
@@ -66,6 +68,16 @@ class StopModel(FortranRuntimeError):
 
 class StatementLimitExceeded(FortranRuntimeError):
     """The configured ``max_statements`` budget was exhausted."""
+
+
+class VectorizationError(FortranRuntimeError):
+    """A construct the vectorized (member-batched) runtime cannot express.
+
+    Raised as a safety rail instead of silently producing member-mixed
+    results: PRNG draws or history writes under diverged control flow,
+    member-varying loop bounds, batch stores into member-uniform storage.
+    The scalar interpreter remains the fallback for such models.
+    """
 
 
 class _Return(Exception):
@@ -291,3 +303,107 @@ class ComponentRef(Ref):
             self.derived.set(self.component, value)
         else:
             self.derived.get(self.component)[self.index] = value
+
+
+# --------------------------------------------------------------------------- #
+# Member-batched values (the vectorized runtime's array type)
+# --------------------------------------------------------------------------- #
+class MemberBatch(np.ndarray):
+    """An array whose *leading* axis is the ensemble-member axis.
+
+    A ``MemberBatch`` of shape ``(n, *model_shape)`` holds one model-space
+    value per member.  Model code never sees the member axis: subscripts
+    written against ``model_shape`` are transparently prefixed with
+    ``slice(None)`` on load and store, and ufuncs align operands on the
+    *trailing* (model) axes by re-inserting length-1 dimensions after the
+    member axis, so a promoted batch scalar of shape ``(n,)`` broadcasts
+    against a batch array of shape ``(n, pcols, pver)`` the way a Fortran
+    scalar broadcasts against an array.
+
+    Plain ndarrays (member-uniform model values) broadcast from the right,
+    exactly as numpy would without the member axis.
+    """
+
+    # win ufunc dispatch against plain ndarrays regardless of operand order
+    __array_priority__ = 100.0
+
+    @property
+    def n_members(self) -> int:
+        return self.shape[0]
+
+    @property
+    def model_ndim(self) -> int:
+        return self.ndim - 1
+
+    def member(self, m: int) -> np.ndarray:
+        """Member ``m``'s model-space value (a plain-ndarray view)."""
+        return np.asarray(self)[m]
+
+    def _lifted(self, target_model_ndim: int) -> np.ndarray:
+        """The base array with length-1 axes inserted after the member axis
+        so its model axes right-align at ``target_model_ndim`` dims."""
+        base = np.asarray(self)
+        pad = target_model_ndim - self.model_ndim
+        if pad <= 0:
+            return base
+        return base.reshape(base.shape[:1] + (1,) * pad + base.shape[1:])
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        out = kwargs.get("out")
+        if out is not None:
+            kwargs["out"] = tuple(
+                np.asarray(o) if isinstance(o, MemberBatch) else o
+                for o in out
+            )
+        if method != "__call__":
+            # reductions / accumulations collapse or reorder axes in ways
+            # the member-axis convention cannot track: compute on the base
+            # arrays and return plain ndarrays (callers re-wrap knowingly).
+            plain = tuple(
+                np.asarray(x) if isinstance(x, MemberBatch) else x
+                for x in inputs
+            )
+            return getattr(ufunc, method)(*plain, **kwargs)
+        target = 0
+        for x in inputs:
+            if isinstance(x, MemberBatch):
+                target = max(target, x.model_ndim)
+            elif isinstance(x, np.ndarray):
+                target = max(target, x.ndim)
+        plain = tuple(
+            x._lifted(target) if isinstance(x, MemberBatch) else x
+            for x in inputs
+        )
+        result = getattr(ufunc, method)(*plain, **kwargs)
+        if isinstance(result, tuple):
+            return tuple(
+                r.view(MemberBatch) if isinstance(r, np.ndarray) else r
+                for r in result
+            )
+        if isinstance(result, np.ndarray):
+            return result.view(MemberBatch)
+        return result
+
+    def __getitem__(self, key):
+        if key is Ellipsis:
+            return self
+        if not isinstance(key, tuple):
+            key = (key,)
+        result = np.asarray(self)[(slice(None),) + key]
+        if result.ndim == 1:
+            # fully-indexed element: Fortran loads scalars by value, so a
+            # promoted (n,) batch scalar must not alias the array storage
+            return result.copy().view(MemberBatch)
+        return result.view(MemberBatch)
+
+    def __setitem__(self, key, value) -> None:
+        base = np.asarray(self)
+        if key is Ellipsis:
+            dest = base
+        else:
+            if not isinstance(key, tuple):
+                key = (key,)
+            dest = base[(slice(None),) + key]
+        if isinstance(value, MemberBatch):
+            value = value._lifted(dest.ndim - 1)
+        dest[...] = value

@@ -38,12 +38,13 @@ def serial_ensemble(shared_source):
 class TestConformance:
     """Acceptance: every backend is bit-identical to the serial reference."""
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "vectorized"])
     def test_backend_matches_serial_bit_for_bit(
         self, backend, shared_source, serial_ensemble
     ):
+        workers = None if backend == "vectorized" else 2
         ens = generate_ensemble(
-            SMALL, source=shared_source, backend=backend, max_workers=2
+            SMALL, source=shared_source, backend=backend, max_workers=workers
         )
         np.testing.assert_array_equal(ens.matrix, serial_ensemble.matrix)
         assert ens.variable_names == serial_ensemble.variable_names
@@ -101,7 +102,9 @@ class TestWorkerSourceCache:
 
 class TestRegistry:
     def test_builtin_backends_listed(self):
-        assert {"serial", "thread", "process"} <= set(list_backends())
+        assert {"serial", "thread", "process", "vectorized"} <= set(
+            list_backends()
+        )
 
     def test_get_backend_by_name(self):
         assert isinstance(get_backend("serial"), SerialBackend)

@@ -1,0 +1,158 @@
+"""Kernel extraction: generated numpy kernels conform to the interpreter.
+
+The extractor is useful exactly when its output is *provably* the same
+computation as the scalar reference, so the tests lean on
+:func:`verify_kernel`'s normalized-RMS gate: every default target must
+come out bit-identical (nrms == 0), and the synthetic cases check the
+if->where mask merge against hand-computed values as well as the
+interpreter.  Constructs outside the vectorizable subset must raise
+:class:`KernelError` rather than produce a silently wrong kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kgen import (
+    DEFAULT_KERNEL_TARGETS,
+    KernelError,
+    extract_default_kernels,
+    extract_kernel,
+    nrms,
+    verify_kernel,
+)
+from repro.runtime.interpreter import Interpreter
+
+SYNTH_SRC = """
+module synth
+  implicit none
+  real, parameter :: scale = 2.5
+contains
+  function piecewise(x) result(y)
+    real, intent(in) :: x
+    real :: y
+    if (x > 1.0) then
+      y = scale * x
+    else if (x > 0.0) then
+      y = x * x
+    else
+      y = -x
+    end if
+  end function piecewise
+
+  function doubled(x) result(y)
+    real, intent(in) :: x
+    real :: y
+    y = piecewise(x) + piecewise(x)
+  end function doubled
+
+  function looped(x) result(y)
+    real, intent(in) :: x
+    real :: y
+    integer :: i
+    y = 0.0
+    do i = 1, 3
+      y = y + x
+    end do
+  end function looped
+
+  function arrayed(x) result(y)
+    real, intent(in) :: x
+    real :: buf(4)
+    real :: y
+    buf(1) = x
+    y = buf(1)
+  end function arrayed
+
+  subroutine bump(x)
+    real, intent(inout) :: x
+    x = x + 1.0
+  end subroutine bump
+end module synth
+"""
+
+
+@pytest.fixture(scope="module")
+def synth_interp():
+    return Interpreter.from_source(SYNTH_SRC, collect_coverage=False)
+
+
+class TestSyntheticExtraction:
+    def test_if_chain_becomes_where_merge(self, synth_interp):
+        kernel = extract_kernel(synth_interp, "synth", "piecewise")
+        x = np.asarray([-2.0, 0.5, 3.0])
+        np.testing.assert_array_equal(kernel(x), [2.0, 0.25, 7.5])
+        assert "np.where" in kernel.source
+
+    def test_matches_interpreter_per_element(self, synth_interp):
+        kernel = extract_kernel(synth_interp, "synth", "piecewise")
+        report = verify_kernel(
+            kernel,
+            synth_interp,
+            samples={"x": np.linspace(-3.0, 3.0, 61)},
+        )
+        assert report.n_samples == 61
+        assert report.nrms == 0.0
+        assert report.conformant
+
+    def test_module_constant_baked_as_literal(self, synth_interp):
+        kernel = extract_kernel(synth_interp, "synth", "piecewise")
+        assert "2.5" in kernel.source
+        assert "scale" not in kernel.source
+
+    def test_same_module_call_extracted_as_dependency(self, synth_interp):
+        kernel = extract_kernel(synth_interp, "synth", "doubled")
+        assert "_k_piecewise" in kernel.source
+        np.testing.assert_array_equal(
+            kernel(np.asarray([3.0])), [15.0]
+        )
+
+    def test_do_loop_refused(self, synth_interp):
+        with pytest.raises(KernelError, match="unsupported statement"):
+            extract_kernel(synth_interp, "synth", "looped")
+
+    def test_array_local_refused(self, synth_interp):
+        with pytest.raises(KernelError, match="array local"):
+            extract_kernel(synth_interp, "synth", "arrayed")
+
+    def test_subroutine_refused(self, synth_interp):
+        with pytest.raises(KernelError, match="subroutine"):
+            extract_kernel(synth_interp, "synth", "bump")
+
+    def test_unknown_function_refused(self, synth_interp):
+        with pytest.raises(KernelError, match="no function"):
+            extract_kernel(synth_interp, "synth", "nope")
+
+
+class TestDefaultTargets:
+    def test_all_default_kernels_bit_identical(self):
+        reports = extract_default_kernels()
+        assert len(reports) == len(DEFAULT_KERNEL_TARGETS)
+        for report in reports:
+            assert report.n_samples == 256
+            assert report.nrms == 0.0, report.kernel.function
+            assert report.conformant
+
+    def test_qsat_water_pulls_in_svp_kernel(self):
+        kernel = extract_kernel(None, "wv_saturation", "qsat_water")
+        assert "_k_goffgratch_svp" in kernel.source
+
+
+class TestVerification:
+    def test_nrms_zero_for_identical(self):
+        a = np.asarray([1.0, 2.0, 3.0])
+        assert nrms(a, a) == 0.0
+
+    def test_nrms_normalizes_by_reference_scale(self):
+        want = np.asarray([0.0, 100.0])
+        got = np.asarray([1.0, 100.0])
+        assert nrms(got, want) == pytest.approx(
+            np.sqrt(0.5) / 100.0
+        )
+
+    def test_nrms_zero_reference_uses_unit_scale(self):
+        assert nrms(np.asarray([3.0]), np.asarray([0.0])) == 3.0
+
+    def test_verify_requires_samples_or_ranges(self, synth_interp):
+        kernel = extract_kernel(synth_interp, "synth", "piecewise")
+        with pytest.raises(ValueError, match="samples or ranges"):
+            verify_kernel(kernel, synth_interp)

@@ -72,11 +72,40 @@ class TestRun:
         assert "# Root cause report: wsubbug" in text
         assert "| control_ensemble | hit |" in text
 
-    def test_unknown_experiment_raises_the_registry_error(self, tmp_path):
-        from repro.experiments import UnknownExperimentError
+class TestBadNames:
+    """Bad experiment/backend names exit 2 (usage error) with the known
+    candidates on stderr — distinct from exit 1, which means the run
+    completed but did not localize."""
 
-        with pytest.raises(UnknownExperimentError, match="warpdrive"):
-            invoke(["run", "warpdrive", "--store", str(tmp_path)])
+    def test_unknown_experiment_exits_2_naming_candidates(
+        self, tmp_path, capsys
+    ):
+        code, text = invoke(["run", "warpdrive", "--store", str(tmp_path)])
+        assert code == 2
+        assert text == ""
+        err = capsys.readouterr().err
+        assert "error:" in err and "warpdrive" in err
+        assert "wsubbug" in err  # the known names are listed
+
+    def test_unknown_backend_exits_2(self, tmp_path, capsys):
+        code, _ = invoke(
+            ["run", "wsubbug", "--store", str(tmp_path),
+             "--backend", "quantum"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "quantum" in err and "vectorized" in err
+
+    def test_sweep_validates_every_name_before_running(
+        self, tmp_path, capsys
+    ):
+        code, _ = invoke(
+            ["sweep", "wsubbug", "warpdrive", "--store", str(tmp_path)]
+        )
+        assert code == 2
+        assert "warpdrive" in capsys.readouterr().err
+        # nothing ran: the shared store was never populated
+        assert list(tmp_path.iterdir()) == []
 
 
 def test_sweep_shares_the_store(tmp_path):

@@ -142,6 +142,29 @@ class TestKeys:
         assert pipeline("digest-1").keys()["leaf"] == \
             pipeline("digest-2").keys()["leaf"]
 
+    def test_nan_param_hashes_deterministically(self):
+        """config_token hex-encodes floats, so even a NaN knob produces
+        a canonical key equal to its own recompute — it must never reach
+        json.dumps as the non-canonical ``NaN`` token."""
+        nan = float("nan")
+        key = value_stage("a", 1, params={"k": nan}).key({})
+        assert key == value_stage("a", 1, params={"k": nan}).key({})
+        assert key != value_stage("a", 1, params={"k": 1.0}).key({})
+
+    def test_non_finite_token_is_a_named_error(self, monkeypatch):
+        """The defensive rail behind config_token: a raw non-finite in
+        the cache token is a PipelineError naming the location, not a
+        bare json.dumps ValueError."""
+        from repro.pipeline import core as core_mod
+
+        monkeypatch.setattr(
+            core_mod, "config_token", lambda value: {"k": float("nan")}
+        )
+        with pytest.raises(
+            PipelineError, match=r"non-finite float at \$\.params\.k"
+        ):
+            value_stage("a", 1).key({})
+
 
 class TestCaching:
     def three_stage(self, store, calls):

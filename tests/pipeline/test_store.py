@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.pipeline import ArtifactStore, StoreError, json_payload, payload_json
+from repro.pipeline.store import find_nonfinite
 
 
 def test_round_trip_json_and_arrays(tmp_path):
@@ -54,6 +55,70 @@ def test_truncated_entry_is_a_miss(tmp_path):
     path = tmp_path / "k.npz"
     path.write_bytes(path.read_bytes()[:10])
     assert store.load("k") is None
+
+
+class TestNonFinitePayloads:
+    """NaN/Infinity must fail fast at save time, naming the field —
+    ``json.dumps`` would otherwise emit the non-JSON token ``NaN`` that
+    ``payload_json`` can never read back."""
+
+    def test_nan_payload_raises_naming_the_field(self):
+        with pytest.raises(StoreError, match=r"\$\.metrics\.rmse"):
+            json_payload({"metrics": {"rmse": float("nan")}})
+
+    def test_infinity_in_list_names_the_index(self):
+        with pytest.raises(StoreError, match=r"\$\.scores\[2\]"):
+            json_payload({"scores": [0.0, 1.0, float("inf")]})
+
+    def test_finite_floats_pass(self):
+        payload = json_payload({"v": 1.5e308})
+        assert payload_json(payload)["v"] == 1.5e308
+
+    def test_find_nonfinite_clean_object_is_none(self):
+        assert find_nonfinite({"a": [1.0, {"b": 2.0}], "c": "NaN"}) is None
+
+    def test_find_nonfinite_reports_first_hit(self):
+        obj = {"a": float("-inf"), "b": float("nan")}
+        assert find_nonfinite(obj) == "$.a"
+
+
+class TestAtomicWrites:
+    def test_failed_save_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        """A save that dies mid-write must clean up its temp file — a
+        long-lived store directory must not accumulate orphans."""
+        store = ArtifactStore(tmp_path)
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.raises(OSError, match="disk full"):
+            store.save("k", json_payload({"x": 1}))
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == []
+        assert store.writes == 0
+
+    def test_store_still_usable_after_failed_save(
+        self, tmp_path, monkeypatch
+    ):
+        store = ArtifactStore(tmp_path)
+        original = np.savez_compressed
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            store.save("k", json_payload({"x": 1}))
+        monkeypatch.setattr(np, "savez_compressed", original)
+        store.save("k", json_payload({"x": 1}))
+        assert payload_json(store.load("k")) == {"x": 1}
+
+    def test_nonfinite_payload_never_reaches_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(StoreError):
+            store.save("k", json_payload({"v": float("nan")}))
+        assert list(tmp_path.iterdir()) == []
 
 
 def test_reserved_array_name_rejected():

@@ -18,6 +18,7 @@ IMPLEMENTED_MODULES = {
     "repro.model",
     "repro.graphs",
     "repro.runtime",
+    "repro.kgen",
     "repro.ensemble",
     "repro.ect",
     "repro.coverage",
