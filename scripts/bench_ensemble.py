@@ -64,6 +64,7 @@ from repro.ensemble import EnsembleSpec, generate_ensemble, list_backends
 from repro.experiments import get_experiment
 from repro.model import list_patches
 from repro.model.builder import ModelConfig, build_model_source
+from repro.obs import get_metrics, runtime_info
 from repro.pipeline import root_cause_pipeline
 from repro.runtime.interpreter import Interpreter
 
@@ -230,6 +231,12 @@ def main() -> int:
         "cpus": os.cpu_count(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # repro.obs telemetry accumulated over everything the bench ran:
+        # interpreter statement volume, cache traffic, refinement iteration
+        # counts — the "where did the seconds and misses go" record that
+        # makes bench trajectories across machines interpretable
+        "obs": {"metrics": get_metrics().snapshot()},
+        "runtime": runtime_info(),
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
@@ -268,6 +275,13 @@ def main() -> int:
             f"members/s) is below {VEC_SPEEDUP_FLOOR}x the best scalar "
             f"backend ({best_scalar}: "
             f"{backends[best_scalar]['members_per_s']} members/s)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not payload["obs"]["metrics"]["counters"]:
+        print(
+            "WARNING: the obs metrics block is empty — instrumentation "
+            "recorded nothing across a full bench run",
             file=sys.stderr,
         )
         failed = True

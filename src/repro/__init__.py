@@ -19,6 +19,7 @@ climate model:
 * :mod:`repro.experiments` — the paper's six experiments.
 * :mod:`repro.pipeline` — end-to-end root cause analysis orchestration.
 * :mod:`repro.reporting` — Table 1/2 and figure-series generation.
+* :mod:`repro.obs` — tracing, metrics, and profiling across all layers.
 
 The public, stable API is re-exported lazily here; importing ``repro`` is
 cheap and does not build the model.
@@ -97,6 +98,16 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     "RefinementConfig": ("repro.refine", "RefinementConfig"),
     "RefinementResult": ("repro.refine", "RefinementResult"),
     "refine_slice": ("repro.refine", "refine_slice"),
+    # observability
+    "Span": ("repro.obs", "Span"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
+    "enable_tracing": ("repro.obs", "enable_tracing"),
+    "disable_tracing": ("repro.obs", "disable_tracing"),
+    "get_tracer": ("repro.obs", "get_tracer"),
+    "get_metrics": ("repro.obs", "get_metrics"),
+    "round_wall": ("repro.obs", "round_wall"),
+    "runtime_info": ("repro.obs", "runtime_info"),
     # experiments / pipeline / reporting
     "ExperimentSpec": ("repro.experiments", "ExperimentSpec"),
     "get_experiment": ("repro.experiments", "get_experiment"),

@@ -12,8 +12,20 @@ One entry point over the whole stack::
 ``run`` and ``sweep`` print the markdown localization report plus a
 per-stage execution table (status, wall seconds, store and member-cache
 hits/misses); ``--json`` switches to a machine-readable document carrying
-the report, the stage records and the store statistics — what the CI
-smoke job and the bench parse to assert cache behavior.
+the report, the stage records, the store statistics and the metrics
+counters that moved — what the CI smoke job and the bench parse to
+assert cache behavior.
+
+Observability (see ``docs/observability.md``)::
+
+    python -m repro run wsubbug --trace t.jsonl --profile
+    python -m repro trace summarize t.jsonl
+    python -m repro trace chrome t.jsonl --out t.chrome.json
+    python -m repro --version
+
+``--trace`` records a hierarchical span trace (pipeline -> stages ->
+ensemble members -> refinement iterations) to a JSONL file; ``--profile``
+prints the hottest-modules and hottest-spans tables.
 """
 
 from __future__ import annotations
@@ -27,10 +39,15 @@ __all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Root cause analysis for a synthetic climate model "
         "(Milroy et al., HPDC 2019).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -72,6 +89,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="emit a JSON document (report + stage records) instead "
             "of markdown",
         )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="record a hierarchical span trace to this JSONL file "
+            "(render it with `python -m repro trace summarize PATH`)",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="print the hottest-modules and hottest-spans tables",
+        )
 
     run = sub.add_parser(
         "run", help="run (or resume) one experiment end to end"
@@ -90,6 +119,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_options(sweep)
 
     sub.add_parser("list", help="list the registered experiments")
+
+    trace = sub.add_parser(
+        "trace", help="inspect or convert a saved JSONL span trace"
+    )
+    trace.add_argument(
+        "action",
+        choices=("summarize", "chrome"),
+        help="summarize: aggregate spans by name; chrome: convert to a "
+        "Chrome trace_event file for chrome://tracing / Perfetto",
+    )
+    trace.add_argument("path", help="JSONL trace written by run --trace")
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="output path for `chrome` (default: PATH.chrome.json)",
+    )
+    trace.add_argument(
+        "--top", type=int, default=0, help="top-N summary rows (0 = all)"
+    )
+    trace.add_argument("--json", action="store_true", help="emit JSON")
 
     tables = sub.add_parser(
         "tables", help="print the paper-style metagraph tables (Tables 1/2)"
@@ -126,11 +175,61 @@ def _resolve_experiment(args):
     return spec.with_(**overrides) if overrides else spec
 
 
-def _run_document(result) -> dict:
+def _run_document(result, metrics_before=None) -> dict:
     """The JSON document of one pipeline run."""
+    from .obs import get_metrics
+
     doc = result.to_dict()
     doc["report"] = result["report"].to_dict()
+    doc["metrics"] = get_metrics().counter_delta(metrics_before)
     return doc
+
+
+def _profile_rows(result, top: int = 10) -> list:
+    """Hottest-modules rows for one pipeline result.
+
+    Derived post hoc from the coverage the accepted ensemble already
+    collected (per-module statement counts apportion the measured wall),
+    so profiling adds no hot-path instrumentation at all.
+    """
+    from .obs import hot_modules
+
+    # prefer the accepted ensemble's merged member coverage; fall back to
+    # the dedicated instrumented coverage run (the ensemble members run
+    # with coverage off in most experiment specs)
+    coverage = None
+    for key in ("control_ensemble", "coverage_run"):
+        candidate = getattr(result.outputs.get(key), "coverage", None)
+        if candidate is not None and candidate.counts:
+            coverage = candidate
+            break
+    if coverage is None:
+        return []
+    per_file: dict[str, int] = {}
+    for (fname, _line), count in coverage.counts.items():
+        per_file[fname] = per_file.get(fname, 0) + int(count)
+    names: dict[str, str] = {}
+    source = result.outputs.get("control_source")
+    if source is not None:
+        from .slicing.seeds import module_file_map
+
+        names = {fname: mod for mod, fname in module_file_map(source).items()}
+    wall = sum(rec.wall_s for rec in result.records)
+    return hot_modules(per_file, wall, top=top, module_names=names)
+
+
+def _print_profile(result, spans, out, top: int = 10) -> None:
+    from .obs import render_profile, render_summary
+
+    print("## Profile: hottest modules\n", file=out)
+    rows = _profile_rows(result, top=top)
+    if rows:
+        print(render_profile(rows), file=out)
+    else:
+        print("(no coverage available — nothing to profile)", file=out)
+    if spans:
+        print("\n## Profile: hottest spans\n", file=out)
+        print(render_summary(spans, top=top), file=out)
 
 
 def _print_stage_table(result, out) -> None:
@@ -166,30 +265,51 @@ def _validate_names(args) -> Optional[str]:
 
 
 def _cmd_run(args, out) -> int:
+    from .obs import disable_tracing, enable_tracing, get_metrics, write_trace
     from .pipeline import RootCauseAnalysis
 
     error = _validate_names(args)
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
         return EX_USAGE
-    result = RootCauseAnalysis(
-        _resolve_experiment(args),
-        store_dir=args.store,
-        backend=args.backend,
-        max_workers=args.max_workers,
-    ).run()
+    tracing = bool(args.trace or args.profile)
+    metrics_before = get_metrics().counters()
+    spans = []
+    if tracing:
+        enable_tracing(experiment=args.experiment)
+    try:
+        result = RootCauseAnalysis(
+            _resolve_experiment(args),
+            store_dir=args.store,
+            backend=args.backend,
+            max_workers=args.max_workers,
+        ).run()
+    finally:
+        if tracing:
+            spans = disable_tracing()
+        if args.trace and spans:
+            write_trace(spans, args.trace)
     report = result["report"]
     if args.json:
-        print(json.dumps(_run_document(result), indent=2, sort_keys=True), file=out)
+        doc = _run_document(result, metrics_before)
+        if args.profile:
+            doc["profile"] = _profile_rows(result)
+        print(json.dumps(doc, indent=2, sort_keys=True), file=out)
     else:
         print(report.to_markdown(), file=out)
         print("## Pipeline\n", file=out)
         _print_stage_table(result, out)
+        if args.profile:
+            print("", file=out)
+            _print_profile(result, spans, out)
+    if args.trace:
+        print(f"trace: {len(spans)} spans -> {args.trace}", file=sys.stderr)
     return 0 if report.localized else 1
 
 
 def _cmd_sweep(args, out) -> int:
     from .experiments import list_experiments
+    from .obs import disable_tracing, enable_tracing, get_metrics, write_trace
     from .pipeline import RootCauseAnalysis
 
     names = args.experiments or list_experiments()
@@ -199,24 +319,40 @@ def _cmd_sweep(args, out) -> int:
         if error is not None:
             print(f"error: {error}", file=sys.stderr)
             return EX_USAGE
+    tracing = bool(args.trace or args.profile)
     documents, failures = {}, []
-    for name in names:
-        sweep_args = argparse.Namespace(**{**vars(args), "experiment": name})
-        result = RootCauseAnalysis(
-            _resolve_experiment(sweep_args),
-            store_dir=args.store,
-            backend=args.backend,
-            max_workers=args.max_workers,
-        ).run()
-        report = result["report"]
-        if not report.localized:
-            failures.append(name)
-        if args.json:
-            documents[name] = _run_document(result)
-        else:
-            print(f"## {name}: localized={report.localized}", file=out)
-            _print_stage_table(result, out)
-            print("", file=out)
+    try:
+        for name in names:
+            sweep_args = argparse.Namespace(**{**vars(args), "experiment": name})
+            metrics_before = get_metrics().counters()
+            if tracing:  # one trace buffer per experiment, appended to one file
+                enable_tracing(experiment=name)
+            try:
+                result = RootCauseAnalysis(
+                    _resolve_experiment(sweep_args),
+                    store_dir=args.store,
+                    backend=args.backend,
+                    max_workers=args.max_workers,
+                ).run()
+            finally:
+                if tracing:
+                    spans = disable_tracing()
+                    if args.trace and spans:
+                        write_trace(spans, args.trace)
+            report = result["report"]
+            if not report.localized:
+                failures.append(name)
+            if args.json:
+                documents[name] = _run_document(result, metrics_before)
+            else:
+                print(f"## {name}: localized={report.localized}", file=out)
+                _print_stage_table(result, out)
+                if args.profile:
+                    _print_profile(result, spans if tracing else [], out)
+                print("", file=out)
+    finally:
+        if tracing:
+            disable_tracing()
     if args.json:
         print(
             json.dumps(
@@ -227,6 +363,34 @@ def _cmd_sweep(args, out) -> int:
             file=out,
         )
     return 1 if failures else 0
+
+
+def _cmd_trace(args, out) -> int:
+    from .obs import (
+        read_trace,
+        render_summary,
+        summarize_spans,
+        write_chrome_trace,
+    )
+
+    try:
+        spans = read_trace(args.path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return EX_USAGE
+    if args.action == "chrome":
+        out_path = args.out or f"{args.path}.chrome.json"
+        write_chrome_trace(spans, out_path)
+        print(f"wrote {len(spans)} events -> {out_path}", file=out)
+        return 0
+    if args.json:
+        print(
+            json.dumps(summarize_spans(spans), indent=2, sort_keys=True),
+            file=out,
+        )
+    else:
+        print(render_summary(spans, top=args.top), file=out)
+    return 0
 
 
 def _cmd_list(out) -> int:
@@ -267,4 +431,6 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_sweep(args, out)
     if args.command == "list":
         return _cmd_list(out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     return _cmd_tables(args, out)

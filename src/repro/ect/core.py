@@ -215,6 +215,19 @@ class UltraFastECT:
         self, runs: Sequence[Union[RunResult, np.ndarray]]
     ) -> EctResult:
         """Apply the failure-count rule to K experimental runs."""
+        from ..obs import get_metrics, get_tracer
+
+        get_metrics().inc("ect.tests")
+        with get_tracer().span(
+            "ect.test", lambda: {"runs": len(runs), "pcs": self.n_pcs}
+        ) as span:
+            result = self._test(runs)
+            span.annotate(consistent=result.consistent)
+        return result
+
+    def _test(
+        self, runs: Sequence[Union[RunResult, np.ndarray]]
+    ) -> EctResult:
         if not runs:
             raise ValueError("ECT needs at least one experimental run")
         config = self.config

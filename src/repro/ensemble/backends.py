@@ -55,6 +55,7 @@ from concurrent.futures import FIRST_COMPLETED, wait
 from typing import Callable, Iterator, Optional
 
 from ..model.builder import ModelConfig, ModelSource, build_model_source
+from ..obs import Span, get_tracer, new_span_id
 from ..runtime import RunConfig, run_model
 from .artifact import RunArtifact
 from .cache import member_cache_key
@@ -95,10 +96,34 @@ BACKEND_ENV_VAR = "REPRO_ENSEMBLE_BACKEND"
 DEFAULT_BACKEND = "thread"
 
 
-def _run_artifact(source: ModelSource, config: RunConfig) -> RunArtifact:
+def _bare_artifact(source: ModelSource, config: RunConfig) -> RunArtifact:
     """Run one member and wrap it as an artifact (shared by all backends)."""
     result = run_model(config, source=source)
     return RunArtifact.from_result(result, member_cache_key(source, config))
+
+
+def _run_artifact(
+    source: ModelSource,
+    config: RunConfig,
+    parent_id: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> RunArtifact:
+    """One member under an ``ensemble.member`` span (in-process backends).
+
+    ``parent_id`` carries the submitting thread's current span into pool
+    threads, whose own span stacks are empty.
+    """
+    tracer = get_tracer()
+    span = tracer.span(
+        "ensemble.member",
+        lambda: {"seed": config.seed, "nsteps": config.nsteps,
+                 "backend": backend},
+        parent_id=parent_id,
+    )
+    with span:
+        artifact = _bare_artifact(source, config)
+        span.annotate(statements=int(artifact.statements_executed))
+    return artifact
 
 
 class ExecutionBackend(ABC):
@@ -137,7 +162,7 @@ class SerialBackend(ExecutionBackend):
         jobs: list[tuple[int, RunConfig]],
     ) -> Iterator[tuple[int, RunArtifact]]:
         for index, config in jobs:
-            yield index, _run_artifact(source, config)
+            yield index, _run_artifact(source, config, backend=self.name)
 
 
 class ThreadBackend(ExecutionBackend):
@@ -156,9 +181,14 @@ class ThreadBackend(ExecutionBackend):
         from concurrent.futures import ThreadPoolExecutor
 
         workers = self.max_workers or min(4, len(jobs)) or 1
+        # pool threads have empty span stacks: hand them the submitting
+        # thread's current span so member spans still nest under the stage
+        parent = get_tracer().current_id()
         with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
             pending = {
-                pool.submit(_run_artifact, source, config): index
+                pool.submit(
+                    _run_artifact, source, config, parent, self.name
+                ): index
                 for index, config in jobs
             }
             while pending:
@@ -199,10 +229,34 @@ def _worker_source(model: ModelConfig) -> ModelSource:
     return source
 
 
-def _process_worker(job: tuple[int, RunConfig]) -> tuple[int, RunArtifact]:
-    """Top-level (picklable) worker: parse once per process, run many."""
-    index, config = job
-    return index, _run_artifact(_worker_source(config.model), config)
+def _process_worker(job: tuple) -> tuple[int, RunArtifact, list]:
+    """Top-level (picklable) worker: parse once per process, run many.
+
+    ``job`` is ``(index, config, trace_parent)``.  ``trace_parent`` is
+    ``None`` when the parent is not tracing; otherwise the parent span id
+    (possibly ``""`` for "traced but rootless").  The worker never touches
+    the process-global tracer — a ``fork`` child inherits the parent's
+    enabled tracer and buffered spans, and recording into that copy would
+    silently drop or duplicate spans.  Instead it builds the span
+    standalone (:meth:`Span.measure`) and ships it back as a dict next to
+    the artifact; the parent adopts it with span-id dedup.
+    """
+    index, config, trace_parent = job
+    source = _worker_source(config.model)
+    if trace_parent is None:
+        return index, _bare_artifact(source, config), []
+    span, artifact = Span.measure(
+        "ensemble.member",
+        lambda: _bare_artifact(source, config),
+        parent_id=trace_parent or None,
+        attrs={
+            "seed": config.seed,
+            "nsteps": config.nsteps,
+            "backend": "process",
+        },
+    )
+    span.attrs["statements"] = int(artifact.statements_executed)
+    return index, artifact, [span.to_dict()]
 
 
 class ProcessBackend(ExecutionBackend):
@@ -251,19 +305,29 @@ class ProcessBackend(ExecutionBackend):
         _WORKER_SOURCES[token] = source
         source.parse()
 
+        tracer = get_tracer()
+        trace_parent = (
+            (tracer.current_id() or "") if tracer.enabled else None
+        )
         workers = self.max_workers or min(len(jobs), os.cpu_count() or 1)
         try:
             with ProcessPoolExecutor(
                 max_workers=max(1, workers), mp_context=self.mp_context
             ) as pool:
                 pending = {
-                    pool.submit(_process_worker, job): job[0] for job in jobs
+                    pool.submit(
+                        _process_worker, (index, config, trace_parent)
+                    ): index
+                    for index, config in jobs
                 }
                 while pending:
                     done, _ = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
                         pending.pop(future)
-                        yield future.result()
+                        index, artifact, spans = future.result()
+                        if spans:
+                            tracer.adopt(spans)
+                        yield index, artifact
         finally:
             if previous is None:
                 _WORKER_SOURCES.pop(token, None)
@@ -312,15 +376,54 @@ class VectorizedBackend(ExecutionBackend):
                 config.max_statements,
             )
             groups.setdefault(token, []).append((index, config))
+        tracer = get_tracer()
         for batch in groups.values():
-            results = run_model_batch(
-                [config for _, config in batch], source=source
-            )
+            with tracer.span(
+                "ensemble.batch",
+                lambda: {"members": len(batch), "backend": self.name},
+            ) as batch_span:
+                results = run_model_batch(
+                    [config for _, config in batch], source=source
+                )
+            if tracer.enabled:
+                # one interpreter pass advanced the whole batch, so true
+                # per-member walls don't exist; synthesize member spans
+                # with the amortized share (flagged `estimated`) so the
+                # trace still accounts for every member.
+                self._adopt_member_spans(tracer, batch_span, batch)
             for (index, config), result in zip(batch, results):
                 artifact = RunArtifact.from_result(
                     result, member_cache_key(source, config)
                 )
                 yield index, artifact
+
+    @staticmethod
+    def _adopt_member_spans(tracer, batch_span, batch) -> None:
+        finished = {s.span_id: s for s in tracer.finished()}
+        done = finished.get(batch_span.span_id)
+        if done is None:  # pragma: no cover - defensive
+            return
+        share = done.wall_s / len(batch)
+        cpu_share = done.cpu_s / len(batch)
+        tracer.adopt(
+            Span(
+                name="ensemble.member",
+                span_id=new_span_id(),
+                parent_id=batch_span.span_id,
+                start=done.start + i * share,
+                wall_s=share,
+                cpu_s=cpu_share,
+                attrs={
+                    "seed": config.seed,
+                    "nsteps": config.nsteps,
+                    "backend": "vectorized",
+                    "estimated": True,
+                },
+                pid=done.pid,
+                thread_id=done.thread_id,
+            )
+            for i, (_, config) in enumerate(batch)
+        )
 
 
 # --------------------------------------------------------------------------

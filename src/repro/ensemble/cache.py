@@ -36,6 +36,7 @@ from typing import Optional
 import numpy as np
 
 from ..model.builder import ModelSource
+from ..obs import get_metrics
 from ..runtime import FPConfig, RunConfig, RunResult
 from .artifact import ArtifactError, RunArtifact
 
@@ -106,7 +107,7 @@ class MemberCache:
         """The cached artifact for ``key``, or None on miss/corruption."""
         path = self._path(key)
         if not path.exists():
-            self.misses += 1
+            self._miss()
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
@@ -120,14 +121,19 @@ class MemberCache:
             ValueError,
             IndexError,
         ):
-            self.misses += 1
+            self._miss()
             return None
         if artifact.config_key != key:
             # a renamed/mangled entry: never serve it under the wrong key
-            self.misses += 1
+            self._miss()
             return None
         self.hits += 1
+        get_metrics().inc("member_cache.hits")
         return artifact
+
+    def _miss(self) -> None:
+        self.misses += 1
+        get_metrics().inc("member_cache.misses")
 
     def load(self, key: str, config: RunConfig) -> Optional[RunResult]:
         """The cached result for ``key`` rehydrated for ``config``."""

@@ -29,6 +29,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..model.builder import ModelSource, build_model_source
+from ..obs import get_metrics, get_tracer
 from ..runtime import CoverageTrace, RunConfig, RunResult
 from .artifact import RunArtifact
 from .backends import ExecutionBackend, get_backend
@@ -176,25 +177,35 @@ def generate_ensemble(
         if progress is not None:
             progress(done, total)
 
-    # phase 1: satisfy what the artifact cache already holds
-    misses: list[tuple[int, RunConfig]] = []
-    for index, config in enumerate(configs):
-        if cache is not None:
-            key = member_cache_key(source, config)
-            cached = cache.load_artifact(key)
-            if cached is not None:
-                artifacts[index] = cached
-                advance()
-                continue
-        misses.append((index, config))
-
-    # phase 2: fan the misses out through the execution backend
-    if misses:
-        for index, artifact in exec_backend.run_members(source, misses):
-            artifacts[index] = artifact
+    metrics = get_metrics()
+    with get_tracer().span(
+        "ensemble.generate",
+        lambda: {"members": total, "backend": exec_backend.describe(),
+                 "cached": cache is not None},
+    ) as gen_span:
+        # phase 1: satisfy what the artifact cache already holds
+        misses: list[tuple[int, RunConfig]] = []
+        for index, config in enumerate(configs):
             if cache is not None:
-                cache.store_artifact(artifact)
-            advance()
+                key = member_cache_key(source, config)
+                cached = cache.load_artifact(key)
+                if cached is not None:
+                    artifacts[index] = cached
+                    advance()
+                    continue
+            misses.append((index, config))
+
+        # phase 2: fan the misses out through the execution backend
+        if misses:
+            for index, artifact in exec_backend.run_members(source, misses):
+                artifacts[index] = artifact
+                if cache is not None:
+                    cache.store_artifact(artifact)
+                advance()
+        metrics.inc("ensemble.members_run", len(misses))
+        metrics.inc("ensemble.members_cached", total - len(misses))
+        gen_span.annotate(members_run=len(misses),
+                          members_cached=total - len(misses))
 
     if any(a is None for a in artifacts):  # pragma: no cover - defensive
         raise RuntimeError(

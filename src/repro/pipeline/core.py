@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..ensemble.cache import MemberCache, _json_safe
+from ..obs import get_metrics, get_tracer, round_wall
 from .store import ArtifactStore, StoreError, find_nonfinite
 
 __all__ = [
@@ -175,6 +176,10 @@ class StageRecord:
     member_misses: int = 0
     #: free-form annotations from the stage function (``ctx.annotate``)
     info: dict = field(default_factory=dict)
+    #: trace span id of this stage's execution ("" when tracing is off)
+    span_id: str = ""
+    #: metrics counters that moved while this stage executed
+    metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -182,12 +187,14 @@ class StageRecord:
             "key": self.key,
             "status": self.status,
             "cacheable": self.cacheable,
-            "wall_s": round(self.wall_s, 4),
+            "wall_s": round_wall(self.wall_s),
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
             "member_hits": self.member_hits,
             "member_misses": self.member_misses,
             "info": dict(self.info),
+            "span_id": self.span_id,
+            "metrics": dict(self.metrics),
         }
 
 
@@ -250,12 +257,28 @@ class PipelineResult:
 
     def timings(self) -> dict[str, float]:
         """``{stage: wall seconds}`` in execution order."""
-        return {rec.name: round(rec.wall_s, 4) for rec in self.records}
+        return {rec.name: round_wall(rec.wall_s) for rec in self.records}
+
+    #: alias: "where did the seconds go, per stage"
+    wall_by_stage = timings
+
+    def counters(self) -> dict[str, int]:
+        """Store / member-cache traffic summed over every stage."""
+        totals = {"store_hits": 0, "store_misses": 0, "member_hits": 0,
+                  "member_misses": 0}
+        for rec in self.records:
+            totals["store_hits"] += rec.store_hits
+            totals["store_misses"] += rec.store_misses
+            totals["member_hits"] += rec.member_hits
+            totals["member_misses"] += rec.member_misses
+        return totals
 
     def to_dict(self) -> dict:
         return {
             "stages": [rec.to_dict() for rec in self.records],
             "store": self.store_stats,
+            "wall_by_stage": self.timings(),
+            "counters": self.counters(),
         }
 
 
@@ -348,57 +371,71 @@ class Pipeline:
             store = ArtifactStore(self.store_dir / "stages")
             member_cache = MemberCache(self.store_dir / "members")
 
+        tracer = get_tracer()
+        metrics = get_metrics()
         values: dict[str, Any] = {}
         fingerprints: dict[str, str] = {}
         records: list[StageRecord] = []
-        for stage in self.stages:
-            key = stage.key({i: fingerprints[i] for i in stage.inputs})
-            record = StageRecord(
-                name=stage.name, key=key, cacheable=stage.cacheable
-            )
-            ctx = StageContext(record, member_cache)
-            inputs = {i: values[i] for i in stage.inputs}
-            started = time.perf_counter()
-            store_h0 = store.hits if store else 0
-            store_m0 = store.misses if store else 0
-            member_h0 = member_cache.hits if member_cache else 0
-            member_m0 = member_cache.misses if member_cache else 0
+        with tracer.span(
+            "pipeline.run",
+            lambda: {"stages": len(self.stages), "cached": store is not None},
+        ):
+            for stage in self.stages:
+                key = stage.key({i: fingerprints[i] for i in stage.inputs})
+                record = StageRecord(
+                    name=stage.name, key=key, cacheable=stage.cacheable
+                )
+                ctx = StageContext(record, member_cache)
+                inputs = {i: values[i] for i in stage.inputs}
+                span = tracer.span(f"stage:{stage.name}", {"key": key[:12]})
+                record.span_id = span.span_id
+                metrics_before = metrics.counters()
+                started = time.perf_counter()
+                store_h0 = store.hits if store else 0
+                store_m0 = store.misses if store else 0
+                member_h0 = member_cache.hits if member_cache else 0
+                member_m0 = member_cache.misses if member_cache else 0
 
-            value, decoded = None, False
-            if store is not None and stage.cacheable:
-                payload = store.load(key)
-                if payload is not None:
-                    try:
-                        value = stage.decode(payload, ctx, inputs)
-                        decoded = True
-                    except (StoreError, ValueError, KeyError, IndexError):
-                        decoded = False  # treat as a miss and recompute
-            if decoded:
-                record.status = "hit"
-            else:
-                try:
-                    value = stage.func(ctx, **inputs)
-                except Exception as exc:
-                    record.status = "error"
-                    record.wall_s = time.perf_counter() - started
-                    records.append(record)
-                    raise StageError(stage.name, exc, records) from exc
-                record.status = "ran"
-                if store is not None and stage.cacheable:
-                    store.save(key, stage.encode(value, ctx, inputs))
+                with span:
+                    value, decoded = None, False
+                    if store is not None and stage.cacheable:
+                        payload = store.load(key)
+                        if payload is not None:
+                            try:
+                                value = stage.decode(payload, ctx, inputs)
+                                decoded = True
+                            except (StoreError, ValueError, KeyError, IndexError):
+                                decoded = False  # treat as a miss and recompute
+                    if decoded:
+                        record.status = "hit"
+                    else:
+                        try:
+                            value = stage.func(ctx, **inputs)
+                        except Exception as exc:
+                            record.status = "error"
+                            record.wall_s = time.perf_counter() - started
+                            record.metrics = metrics.counter_delta(metrics_before)
+                            span.annotate(status="error")
+                            records.append(record)
+                            raise StageError(stage.name, exc, records) from exc
+                        record.status = "ran"
+                        if store is not None and stage.cacheable:
+                            store.save(key, stage.encode(value, ctx, inputs))
+                    span.annotate(status=record.status)
 
-            values[stage.name] = value
-            fingerprints[stage.name] = (
-                stage.fingerprint(value) if stage.fingerprint else key
-            )
-            record.wall_s = time.perf_counter() - started
-            if store is not None:
-                record.store_hits += store.hits - store_h0
-                record.store_misses += store.misses - store_m0
-            if member_cache is not None:
-                record.member_hits += member_cache.hits - member_h0
-                record.member_misses += member_cache.misses - member_m0
-            records.append(record)
+                values[stage.name] = value
+                fingerprints[stage.name] = (
+                    stage.fingerprint(value) if stage.fingerprint else key
+                )
+                record.wall_s = time.perf_counter() - started
+                record.metrics = metrics.counter_delta(metrics_before)
+                if store is not None:
+                    record.store_hits += store.hits - store_h0
+                    record.store_misses += store.misses - store_m0
+                if member_cache is not None:
+                    record.member_hits += member_cache.hits - member_h0
+                    record.member_misses += member_cache.misses - member_m0
+                records.append(record)
 
         return PipelineResult(
             outputs=values,

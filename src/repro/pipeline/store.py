@@ -31,6 +31,8 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
+from ..obs import get_metrics
+
 __all__ = [
     "ArtifactStore",
     "StoreError",
@@ -138,16 +140,21 @@ class ArtifactStore:
         """
         path = self._path(key)
         if not path.exists():
-            self.misses += 1
+            self._miss()
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
                 payload = {name: np.asarray(data[name]) for name in data.files}
         except (OSError, EOFError, zipfile.BadZipFile, ValueError, KeyError):
-            self.misses += 1
+            self._miss()
             return None
         self.hits += 1
+        get_metrics().inc("store.hits")
         return payload
+
+    def _miss(self) -> None:
+        self.misses += 1
+        get_metrics().inc("store.misses")
 
     def save(self, key: str, payload: Mapping[str, np.ndarray]) -> None:
         """Persist ``payload`` under ``key`` (atomic write)."""
@@ -172,6 +179,7 @@ class ArtifactStore:
                 pass
             raise
         self.writes += 1
+        get_metrics().inc("store.writes")
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot: ``{"hits", "misses", "writes", "entries"}``."""

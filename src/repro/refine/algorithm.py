@@ -48,6 +48,7 @@ from ..ect import EctConfig, EctResult, UltraFastECT
 from ..ensemble import Ensemble, generate_ensemble
 from ..ensemble.generate import FIRST_SUFFIX
 from ..graphs import MetaGraph, build_metagraph
+from ..obs import get_metrics, get_tracer
 from ..slicing import RankedSlice, slice_failing_runs, variable_weights
 
 __all__ = [
@@ -355,45 +356,63 @@ class IterativeRefinement:
 
         essential: set[str] = set()
         rng = random.Random(config.seed)
+        tracer = get_tracer()
+        metrics = get_metrics()
 
-        progress = True
-        while (
-            len(suspects) > target
-            and progress
-            and len(steps) < config.max_iterations
-        ):
-            progress = False
-            for chunk in self._chunks(suspects, scores):
-                removable = sorted(
-                    (m for m in chunk if m not in essential and m not in protected),
-                    key=lambda m: (scores.get(m, 0.0), m),
-                )
-                if not removable:
-                    continue
-                candidate = self._sample(rng, removable)
-                remaining = suspects - set(candidate)
-                kept = self._attributed(weights, depths, remaining)
-                scoped = (
-                    self.scoped_verdict(kept, vectors) if kept else None
-                )
-                intact = scoped is not None and not scoped.consistent
-                steps.append(
-                    RefinementStep(
-                        iteration=len(steps),
-                        candidate=tuple(candidate),
-                        community=tuple(sorted(chunk)),
-                        kept_variables=tuple(kept),
-                        consistent=None if scoped is None else scoped.consistent,
-                        action="pruned" if intact else "essential",
+        with tracer.span(
+            "refine.run",
+            lambda: {"suspects": len(suspects), "target": target},
+        ) as refine_span:
+            progress = True
+            while (
+                len(suspects) > target
+                and progress
+                and len(steps) < config.max_iterations
+            ):
+                progress = False
+                for chunk in self._chunks(suspects, scores):
+                    removable = sorted(
+                        (m for m in chunk if m not in essential and m not in protected),
+                        key=lambda m: (scores.get(m, 0.0), m),
                     )
-                )
-                if intact:
-                    suspects = remaining
-                    progress = True
-                    break  # re-chunk against the shrunk suspect set
-                essential.update(candidate)
-                if len(steps) >= config.max_iterations:
-                    break
+                    if not removable:
+                        continue
+                    candidate = self._sample(rng, removable)
+                    metrics.inc("refine.iters")
+                    with tracer.span(
+                        "refine.iteration",
+                        lambda: {"iteration": len(steps),
+                                 "candidate": list(candidate)},
+                    ) as iter_span:
+                        remaining = suspects - set(candidate)
+                        kept = self._attributed(weights, depths, remaining)
+                        scoped = (
+                            self.scoped_verdict(kept, vectors) if kept else None
+                        )
+                        intact = scoped is not None and not scoped.consistent
+                        iter_span.annotate(
+                            action="pruned" if intact else "essential"
+                        )
+                    steps.append(
+                        RefinementStep(
+                            iteration=len(steps),
+                            candidate=tuple(candidate),
+                            community=tuple(sorted(chunk)),
+                            kept_variables=tuple(kept),
+                            consistent=None if scoped is None else scoped.consistent,
+                            action="pruned" if intact else "essential",
+                        )
+                    )
+                    if intact:
+                        suspects = remaining
+                        progress = True
+                        break  # re-chunk against the shrunk suspect set
+                    essential.update(candidate)
+                    if len(steps) >= config.max_iterations:
+                        break
+            refine_span.annotate(
+                iterations=len(steps), final_suspects=len(suspects)
+            )
 
         return self._result(
             suspects, initial, protected, frozenset(essential), steps,

@@ -282,6 +282,11 @@ def run_model(
         first_outputs[name] = np.asarray(interp.history.first[name])
 
     coverage = interp.coverage if interp.coverage is not None else CoverageTrace()
+    from ..obs import get_metrics
+
+    metrics = get_metrics()
+    metrics.inc("interpreter.runs")
+    metrics.inc("interpreter.statements", interp.statements_executed)
     return RunResult(
         config=config,
         outputs=outputs,

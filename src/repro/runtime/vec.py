@@ -302,6 +302,9 @@ class VecNodeCompiler(NodeCompiler):
                 for cond_fn, body_fns in branches:
                     cond = True if cond_fn is None else cond_fn(frame)
                     if isinstance(cond, np.ndarray):
+                        # member-divergent condition: the batch collapses to
+                        # masked execution here; counted for `vec.mask_collapses`
+                        interp.mask_divergences += 1
                         cond = np.asarray(cond, dtype=bool)
                         if (
                             cond.ndim != 1
@@ -731,6 +734,8 @@ class VecInterpreter(Interpreter):
         self._mask: Optional[np.ndarray] = None
         #: per-member statement-count corrections accumulated under masks
         self._extra_statements = np.zeros(self.n_members, dtype=np.int64)
+        #: member-divergent `if` conditions seen (batch collapsed to a mask)
+        self.mask_divergences = 0
         super().__init__(
             asts,
             fp=fp,
@@ -1120,6 +1125,7 @@ def run_model_batch(configs, source=None):
 
     prng_draws = interp.prng.total_draws()
     results = []
+    total_statements = 0
     for m, config in enumerate(configs):
         outputs = {
             name: _member_value(interp.history.fields[name], m)
@@ -1129,14 +1135,24 @@ def run_model_batch(configs, source=None):
             name: _member_value(interp.history.first[name], m)
             for name in names
         }
+        statements = interp.member_statements(m)
+        total_statements += statements
         results.append(
             RunResult(
                 config=config,
                 outputs=outputs,
                 coverage=interp.member_coverage(m),
-                statements_executed=interp.member_statements(m),
+                statements_executed=statements,
                 prng_draws=prng_draws,
                 first_outputs=first_outputs,
             )
         )
+
+    from ..obs import get_metrics
+
+    metrics = get_metrics()
+    metrics.inc("vec.batches")
+    metrics.inc("vec.members", len(configs))
+    metrics.inc("vec.mask_collapses", interp.mask_divergences)
+    metrics.inc("interpreter.statements", total_statements)
     return results

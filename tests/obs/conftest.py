@@ -1,0 +1,21 @@
+"""Shared obs fixtures: every test starts with a clean tracer/registry.
+
+The tracer and metrics registry are process-global by design; without
+this reset, spans and counters would leak between tests (and from the
+rest of the suite into this one).
+"""
+
+import pytest
+
+from repro.obs import get_metrics, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    tracer = get_tracer()
+    tracer.disable()
+    tracer.drain()
+    get_metrics().reset()
+    yield
+    tracer.disable()
+    tracer.drain()

@@ -1,0 +1,145 @@
+"""Export layer: JSONL roundtrip, Chrome events, summaries, profiles."""
+
+import io
+import json
+
+from repro.obs import (
+    Span,
+    chrome_trace,
+    hot_modules,
+    new_span_id,
+    read_trace,
+    render_profile,
+    render_summary,
+    summarize_spans,
+    write_chrome_trace,
+    write_trace,
+)
+
+
+def _spans():
+    return [
+        Span(
+            name="stage:a",
+            span_id=new_span_id(),
+            start=100.0,
+            wall_s=1.5,
+            cpu_s=1.2,
+            attrs={"k": "v"},
+            pid=7,
+            thread_id=1,
+        ),
+        Span(
+            name="member",
+            span_id=new_span_id(),
+            parent_id="x-1",
+            start=100.5,
+            wall_s=0.5,
+            pid=7,
+            thread_id=2,
+        ),
+        Span(
+            name="member",
+            span_id=new_span_id(),
+            parent_id="x-1",
+            start=101.0,
+            wall_s=2.0,
+            pid=8,
+            thread_id=3,
+        ),
+    ]
+
+
+def test_jsonl_roundtrip_via_path(tmp_path):
+    path = tmp_path / "t.jsonl"
+    spans = _spans()
+    assert write_trace(spans, str(path)) == 3
+    back = read_trace(str(path))
+    assert [s.span_id for s in back] == [s.span_id for s in spans]
+    assert back[0].attrs == {"k": "v"}
+
+
+def test_jsonl_write_appends(tmp_path):
+    path = tmp_path / "t.jsonl"
+    spans = _spans()
+    write_trace(spans[:1], str(path))
+    write_trace(spans[1:], str(path))
+    assert len(read_trace(str(path))) == 3
+
+
+def test_jsonl_roundtrip_via_file_object():
+    buf = io.StringIO()
+    write_trace(_spans(), buf)
+    buf.seek(0)
+    assert len(read_trace(buf)) == 3
+
+
+def test_every_jsonl_line_is_valid_json(tmp_path):
+    path = tmp_path / "t.jsonl"
+    write_trace(_spans(), str(path))
+    for line in path.read_text().splitlines():
+        doc = json.loads(line)
+        assert {"name", "span_id", "wall_s", "attrs"} <= set(doc)
+
+
+def test_chrome_trace_events():
+    events = chrome_trace(_spans())
+    assert all(e["ph"] == "X" for e in events)
+    first = events[0]
+    assert first["ts"] == 100.0 * 1e6
+    assert first["dur"] == 1.5 * 1e6
+    assert first["pid"] == 7
+    assert first["tid"] == 1
+    assert first["args"]["k"] == "v"
+    assert first["cat"] == "stage"
+    assert first["args"]["span_id"]
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    path = tmp_path / "t.chrome.json"
+    assert write_chrome_trace(_spans(), str(path)) == 3
+    events = json.loads(path.read_text())
+    assert len(events) == 3
+
+
+def test_summarize_spans_aggregates_and_sorts():
+    rows = summarize_spans(_spans())
+    assert [r["name"] for r in rows] == ["member", "stage:a"]
+    member = rows[0]
+    assert member["count"] == 2
+    assert member["wall_s"] == 2.5
+    assert member["max_s"] == 2.0
+
+
+def test_render_summary_is_markdown_with_top():
+    text = render_summary(_spans(), top=1)
+    assert "| span |" in text
+    assert "member" in text
+    assert "stage:a" not in text
+    assert "spans: 3" in text
+
+
+def test_hot_modules_apportions_wall_by_statement_share():
+    rows = hot_modules(
+        {"a.F90": 75, "b.F90": 25},
+        wall_s=4.0,
+        module_names={"a.F90": "mod_a"},
+    )
+    assert rows[0]["module"] == "mod_a"
+    assert rows[0]["share"] == 0.75
+    assert rows[0]["est_wall_s"] == 3.0
+    assert rows[1]["module"] == "b.F90"  # falls back to the file name
+    assert rows[1]["est_wall_s"] == 1.0
+
+
+def test_hot_modules_top_and_empty():
+    rows = hot_modules({f"f{i}": i + 1 for i in range(20)}, 1.0, top=5)
+    assert len(rows) == 5
+    assert hot_modules({}, 1.0) == []
+
+
+def test_render_profile_is_markdown():
+    text = render_profile(hot_modules({"a.F90": 10}, 2.0))
+    assert "| module |" in text
+    assert "a.F90" in text
+    assert "100.0%" in text

@@ -1,0 +1,67 @@
+"""The <3%% rule: a disabled tracer must be invisible in run wall time.
+
+Two complementary proofs, both cheap enough for every CI leg:
+
+* a micro proof that the disabled fast path allocates nothing — every
+  call returns the one shared ``NULL_SPAN`` and never evaluates lazy
+  attribute thunks;
+* an estimate proof that prices the disabled path against a real
+  control run: measure the per-call cost of the disabled ``span()``
+  call, multiply by a *generous* bound on the number of span sites a
+  run crosses, and require the product to stay under 3%% of the
+  measured model wall time.
+
+The estimate deliberately over-counts (every stage, every member, every
+refine iteration, plus slack) so a pass here implies the acceptance
+bound with margin, without the noise of timing two full pipeline runs
+in CI.
+"""
+
+import time
+
+from repro.obs import NULL_SPAN, Tracer
+from repro.runtime import RunConfig, run_model
+
+#: generous upper bound on tracer.span() call sites crossed by one
+#: control run: 10 stages + 100 members + 200 refine iterations + slack
+SPAN_SITES_PER_RUN = 1000
+
+CALLS = 20_000
+
+
+def _disabled_cost_per_call() -> float:
+    tracer = Tracer()
+    attrs = {"k": 1}
+    start = time.perf_counter()
+    for _ in range(CALLS):
+        with tracer.span("site", attrs):
+            pass
+    return (time.perf_counter() - start) / CALLS
+
+
+def test_disabled_span_is_the_shared_null_singleton():
+    tracer = Tracer()
+    calls = []
+    handles = {
+        id(tracer.span("a")),
+        id(tracer.span("b", {"k": 1})),
+        id(tracer.span("c", lambda: calls.append(1) or {})),
+    }
+    assert handles == {id(NULL_SPAN)}
+    assert calls == []  # lazy attrs never evaluated while disabled
+
+
+def test_disabled_overhead_under_three_percent_of_a_control_run():
+    # a real (small) control run of the reference model
+    start = time.perf_counter()
+    run_model(RunConfig(nsteps=1))
+    run_wall = time.perf_counter() - start
+
+    per_call = _disabled_cost_per_call()
+    estimated_overhead = per_call * SPAN_SITES_PER_RUN
+
+    assert estimated_overhead < 0.03 * run_wall, (
+        f"disabled tracer costs ~{per_call * 1e9:.0f}ns/call; "
+        f"{SPAN_SITES_PER_RUN} sites -> {estimated_overhead * 1e3:.3f}ms "
+        f"vs 3% of run wall {run_wall * 1e3:.1f}ms"
+    )

@@ -28,6 +28,7 @@ IMPLEMENTED_MODULES = {
     "repro.pipeline",
     "repro.experiments",
     "repro.reporting",
+    "repro.obs",
 }
 
 IMPLEMENTED = sorted(
