@@ -69,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-workers", type=int, default=None, help="pool width"
         )
         p.add_argument(
+            "--vec-batch",
+            default=None,
+            metavar="N",
+            help="batch-width bound for the vectorized backend (sets "
+            "REPRO_VEC_BATCH for this process; bit-identical at any "
+            "width, it only trades memory against fusion)",
+        )
+        p.add_argument(
             "--members", type=int, default=None, help="override ensemble size"
         )
         p.add_argument(
@@ -115,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         help="experiment names (default: all six)",
+    )
+    sweep.add_argument(
+        "--fused",
+        action="store_true",
+        help="prewarm the member cache first by running every "
+        "experiment's held-out runs batched on the kernel-fused "
+        "vectorized runtime (per-experiment stages then resume them)",
     )
     add_run_options(sweep)
 
@@ -250,18 +265,44 @@ EX_USAGE = 2
 
 
 def _validate_names(args) -> Optional[str]:
-    """Resolve the experiment and backend names up front; the error
-    message (naming every known candidate) on a bad one, else None."""
-    from .ensemble.backends import UnknownBackendError, get_backend
+    """Resolve the experiment, backend and batch-size knobs up front; the
+    error message (naming every known candidate) on a bad one, else None."""
+    from .ensemble.backends import (
+        InvalidBatchSizeError,
+        UnknownBackendError,
+        get_backend,
+        validate_batch_size,
+    )
     from .experiments import UnknownExperimentError
 
     try:
         _resolve_experiment(args)
         if args.backend is not None:
             get_backend(args.backend, max_workers=args.max_workers)
-    except (UnknownExperimentError, UnknownBackendError) as exc:
+        if getattr(args, "vec_batch", None) is not None:
+            validate_batch_size(args.vec_batch, "--vec-batch")
+    except (
+        UnknownExperimentError,
+        UnknownBackendError,
+        InvalidBatchSizeError,
+    ) as exc:
         return str(exc)
     return None
+
+
+def _apply_vec_batch(args) -> None:
+    """Export a validated ``--vec-batch`` as ``REPRO_VEC_BATCH`` so every
+    vectorized pass in this process (ensemble stages, fused prewarm)
+    picks the width up at run time."""
+    if getattr(args, "vec_batch", None) is None:
+        return
+    import os
+
+    from .ensemble.backends import VEC_BATCH_ENV_VAR, validate_batch_size
+
+    os.environ[VEC_BATCH_ENV_VAR] = str(
+        validate_batch_size(args.vec_batch, "--vec-batch")
+    )
 
 
 def _cmd_run(args, out) -> int:
@@ -272,6 +313,7 @@ def _cmd_run(args, out) -> int:
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
         return EX_USAGE
+    _apply_vec_batch(args)
     tracing = bool(args.trace or args.profile)
     metrics_before = get_metrics().counters()
     spans = []
@@ -319,8 +361,28 @@ def _cmd_sweep(args, out) -> int:
         if error is not None:
             print(f"error: {error}", file=sys.stderr)
             return EX_USAGE
+    _apply_vec_batch(args)
     tracing = bool(args.trace or args.profile)
     documents, failures = {}, []
+    prewarm_doc = None
+    if getattr(args, "fused", False):
+        from .pipeline import fused_experimental_pipeline
+
+        specs = [
+            _resolve_experiment(
+                argparse.Namespace(**{**vars(args), "experiment": name})
+            )
+            for name in names
+        ]
+        prewarm = fused_experimental_pipeline(
+            specs, store_dir=args.store
+        ).run()
+        if args.json:
+            prewarm_doc = prewarm.to_dict()
+        else:
+            print("## fused prewarm", file=out)
+            _print_stage_table(prewarm, out)
+            print("", file=out)
     try:
         for name in names:
             sweep_args = argparse.Namespace(**{**vars(args), "experiment": name})
@@ -354,14 +416,10 @@ def _cmd_sweep(args, out) -> int:
         if tracing:
             disable_tracing()
     if args.json:
-        print(
-            json.dumps(
-                {"experiments": documents, "failures": failures},
-                indent=2,
-                sort_keys=True,
-            ),
-            file=out,
-        )
+        doc = {"experiments": documents, "failures": failures}
+        if prewarm_doc is not None:
+            doc["fused_prewarm"] = prewarm_doc
+        print(json.dumps(doc, indent=2, sort_keys=True), file=out)
     return 1 if failures else 0
 
 

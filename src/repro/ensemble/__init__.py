@@ -38,10 +38,12 @@ from __future__ import annotations
 from .artifact import RunArtifact
 from .backends import (
     ExecutionBackend,
+    InvalidBatchSizeError,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     UnknownBackendError,
+    VectorizedBackend,
     get_backend,
     list_backends,
     register_backend,
@@ -55,12 +57,14 @@ __all__ = [
     "EnsembleGenerator",
     "EnsembleSpec",
     "ExecutionBackend",
+    "InvalidBatchSizeError",
     "MemberCache",
     "ProcessBackend",
     "RunArtifact",
     "SerialBackend",
     "ThreadBackend",
     "UnknownBackendError",
+    "VectorizedBackend",
     "generate_ensemble",
     "get_backend",
     "list_backends",

@@ -63,6 +63,7 @@ from .cache import member_cache_key
 __all__ = [
     "DEFAULT_BACKEND",
     "ExecutionBackend",
+    "InvalidBatchSizeError",
     "ProcessBackend",
     "SerialBackend",
     "ThreadBackend",
@@ -88,6 +89,60 @@ class UnknownBackendError(ValueError, KeyError):
 
     def __str__(self) -> str:  # avoid KeyError's repr-quoting of the message
         return self.args[0] if self.args else ""
+
+class InvalidBatchSizeError(ValueError):
+    """Raised for a nonsense vectorized batch size, wherever it came from.
+
+    Mirrors :class:`UnknownBackendError`: a :class:`ValueError` whose
+    message names the offending value *and its origin* (constructor
+    argument, ``EnsembleSpec.vec_batch``, or the ``REPRO_VEC_BATCH``
+    environment variable), so a typo'd knob fails fast at configuration
+    time instead of deep inside a batched ensemble pass.
+    """
+
+    def __str__(self) -> str:  # keep the plain message, no repr-quoting
+        return self.args[0] if self.args else ""
+
+
+#: environment knob bounding the vectorized backend's batch width
+VEC_BATCH_ENV_VAR = "REPRO_VEC_BATCH"
+
+
+def validate_batch_size(value, origin: str) -> int:
+    """``value`` as a positive int, or :class:`InvalidBatchSizeError`.
+
+    ``origin`` names where the knob came from so the error message points
+    at the right place to fix.
+    """
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise InvalidBatchSizeError(
+                f"invalid vectorized batch size {value!r} from {origin} "
+                "(expected a positive integer)"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise InvalidBatchSizeError(
+            f"invalid vectorized batch size {value!r} from {origin} "
+            "(expected a positive integer)"
+        )
+    return value
+
+
+def resolve_vec_batch(*candidates) -> Optional[tuple[int, str]]:
+    """The effective ``(batch size, origin)``: first non-None candidate
+    (each a ``(value, origin)`` pair), then the ``REPRO_VEC_BATCH``
+    environment variable, else None (one batch per uniform group)."""
+    for value, origin in candidates:
+        if value is not None:
+            return validate_batch_size(value, origin), origin
+    env = os.environ.get(VEC_BATCH_ENV_VAR)
+    if env is not None and env.strip():
+        origin = f"the {VEC_BATCH_ENV_VAR} environment variable"
+        return validate_batch_size(env, origin), origin
+    return None
+
 
 #: environment knob consulted when neither the call nor the spec chooses
 BACKEND_ENV_VAR = "REPRO_ENSEMBLE_BACKEND"
@@ -350,15 +405,37 @@ class VectorizedBackend(ExecutionBackend):
     """Member-batched backend: one interpreter pass advances every member.
 
     Jobs are grouped by everything :func:`repro.runtime.vec.run_model_batch`
-    requires to be uniform (nsteps, fp model, coverage flag, statement
-    budget — the model build is already fixed by ``source``), so a mixed
-    job list still runs correctly, just in one batch per group.  Falls back
-    to nothing: a model the vectorized runtime cannot express raises
+    requires to be uniform (nsteps and fp model — the model build is
+    already fixed by ``source``; coverage flag and statement budget may
+    vary per lane since PR 9), so a mixed job list still runs correctly,
+    just in one batch per group.  Falls back to nothing: a model the
+    vectorized runtime cannot express raises
     :class:`~repro.runtime.VectorizationError` rather than silently
     degrading, and the caller picks a scalar backend instead.
+
+    ``batch_size`` bounds how many members one interpreter pass carries
+    (memory scales with the member axis); ``None`` defers to
+    ``EnsembleSpec.vec_batch``, then the ``REPRO_VEC_BATCH`` environment
+    variable, then "one batch per group".  A nonsense value — zero,
+    negative, non-integer, an unparseable environment string — raises
+    :class:`InvalidBatchSizeError` up front.
     """
 
     name = "vectorized"
+
+    def __init__(self, batch_size: Optional[int] = None):
+        if batch_size is not None:
+            batch_size = validate_batch_size(
+                batch_size, "VectorizedBackend(batch_size=)"
+            )
+        self.batch_size = batch_size
+
+    def effective_batch_size(self) -> Optional[int]:
+        """The batch bound this run will use (constructor, then env)."""
+        resolved = resolve_vec_batch(
+            (self.batch_size, "VectorizedBackend(batch_size=)")
+        )
+        return None if resolved is None else resolved[0]
 
     def run_members(
         self,
@@ -367,17 +444,25 @@ class VectorizedBackend(ExecutionBackend):
     ) -> Iterator[tuple[int, RunArtifact]]:
         from ..runtime.vec import run_model_batch
 
+        limit = self.effective_batch_size()
         groups: dict[tuple, list[tuple[int, RunConfig]]] = {}
         for index, config in jobs:
-            token = (
-                config.nsteps,
-                config.fp,
-                config.collect_coverage,
-                config.max_statements,
-            )
+            token = (config.nsteps, config.fp)
             groups.setdefault(token, []).append((index, config))
         tracer = get_tracer()
-        for batch in groups.values():
+        for group in groups.values():
+            step = limit or len(group)
+            batches = [
+                group[i : i + step] for i in range(0, len(group), step)
+            ]
+            yield from self._run_batches(
+                tracer, source, batches, run_model_batch
+            )
+
+    def _run_batches(
+        self, tracer, source, batches, run_model_batch
+    ) -> Iterator[tuple[int, RunArtifact]]:
+        for batch in batches:
             with tracer.span(
                 "ensemble.batch",
                 lambda: {"members": len(batch), "backend": self.name},
@@ -396,6 +481,10 @@ class VectorizedBackend(ExecutionBackend):
                     result, member_cache_key(source, config)
                 )
                 yield index, artifact
+
+    def describe(self) -> str:
+        limit = self.effective_batch_size()
+        return f"vectorized(batch={limit if limit is not None else 'auto'})"
 
     @staticmethod
     def _adopt_member_spans(tracer, batch_span, batch) -> None:
@@ -450,7 +539,12 @@ def list_backends() -> list[str]:
 register_backend("serial", lambda max_workers=None: SerialBackend())
 register_backend("thread", ThreadBackend)
 register_backend("process", ProcessBackend)
-register_backend("vectorized", lambda max_workers=None: VectorizedBackend())
+register_backend(
+    "vectorized",
+    lambda max_workers=None, batch_size=None: VectorizedBackend(
+        batch_size=batch_size
+    ),
+)
 
 
 def resolve_backend_name(*candidates: Optional[str]) -> str:

@@ -165,6 +165,16 @@ def generate_ensemble(
         backend if backend is not None else spec.backend,
         max_workers=max_workers,
     )
+    if spec.vec_batch is not None:
+        from .backends import VectorizedBackend
+
+        if (
+            isinstance(exec_backend, VectorizedBackend)
+            and exec_backend.batch_size is None
+        ):
+            # the spec's *where* knob configures the backend unless the
+            # caller already pinned a width on the instance
+            exec_backend = VectorizedBackend(batch_size=spec.vec_batch)
     cache = MemberCache(cache_dir) if cache_dir is not None else None
     configs = spec.member_configs()
     total = len(configs)

@@ -26,6 +26,7 @@ True
 from .extract import (
     DEFAULT_KERNEL_TARGETS,
     Kernel,
+    KernelAccounting,
     KernelError,
     KernelReport,
     KernelTarget,
@@ -34,15 +35,24 @@ from .extract import (
     nrms,
     verify_kernel,
 )
+from .registry import (
+    KernelRegistry,
+    build_kernel_registry,
+    kernel_registry_for,
+)
 
 __all__ = [
     "DEFAULT_KERNEL_TARGETS",
     "Kernel",
+    "KernelAccounting",
     "KernelError",
+    "KernelRegistry",
     "KernelReport",
     "KernelTarget",
+    "build_kernel_registry",
     "extract_default_kernels",
     "extract_kernel",
+    "kernel_registry_for",
     "nrms",
     "verify_kernel",
 ]

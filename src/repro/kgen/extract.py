@@ -4,22 +4,37 @@ The extractor walks a subprogram's cached AST (the same parse the
 interpreter and the metagraph builder share) and emits the source of a
 standalone numpy function: straight-line assignments become array
 expressions, ``if``/``elseif``/``else`` blocks become sequential
-``np.where`` merges under accumulated branch masks, references to
-``use``-associated constants are resolved through a scalar interpreter's
-module scopes and baked in as literals, and calls to other extractable
-functions become calls to recursively extracted kernels.
+``np.where`` merges under accumulated branch masks, bounded ``do`` loops
+with compile-time-constant bounds are unrolled (a sequential fold, so
+accumulate-style bodies keep the interpreter's exact rounding — an axis
+reduction would reassociate and fail the ``nrms == 0`` gate), references
+to ``use``-associated constants are resolved through a scalar
+interpreter's module scopes and baked in as literals, and calls to other
+extractable functions become calls to recursively extracted kernels.
+``elemental`` subroutines extract too: their ``intent(out)`` /
+``intent(inout)`` dummies become a returned tuple.
 
-Everything outside that subset — loops, subroutine calls, array
-subscripts, I/O — raises :class:`KernelError`: a kernel either fully
-vectorizes or is not generated at all.  Generated kernels are *candidates*
-until :func:`verify_kernel` has measured their normalized RMS deviation
-from the scalar interpreter over a sample grid and found it within the
+Everything outside that subset — unbounded or member-varying loops,
+non-elemental subroutine calls, array subscripts, I/O — raises
+:class:`KernelError`: a kernel either fully vectorizes or is not
+generated at all.  Generated kernels are *candidates* until
+:func:`verify_kernel` has measured their normalized RMS deviation from
+the scalar interpreter over a sample grid and found it within the
 conformance bound.
+
+Kernels double as drop-in bodies for the member-batched runtime
+(:mod:`repro.runtime.vec`): every generated function takes a keyword-only
+``_acct`` hook (default ``None``, zero cost when absent) through which it
+replays the vectorized interpreter's per-statement accounting — shared
+statement counter, per-member mask corrections, per-line coverage — so a
+fused call site stays bit-identical to the interpreted body *including*
+``statements_executed`` and coverage counts.  See
+:class:`KernelAccounting`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
@@ -29,6 +44,7 @@ from ..fortran.ast_nodes import (
     Assignment,
     BinOp,
     Declaration,
+    DoLoop,
     Expr,
     IfBlock,
     LogicalLit,
@@ -39,11 +55,13 @@ from ..fortran.ast_nodes import (
     VarRef,
 )
 from ..model.builder import ModelConfig, ModelSource, build_model_source
-from ..runtime.interpreter import Interpreter
+from ..runtime.interpreter import Frame, Interpreter
+from ..runtime.values import Scope, StatementLimitExceeded
 
 __all__ = [
     "DEFAULT_KERNEL_TARGETS",
     "Kernel",
+    "KernelAccounting",
     "KernelError",
     "KernelReport",
     "KernelTarget",
@@ -97,16 +115,120 @@ _BINOPS = {
 
 _SCALAR_INITS = {"real": "0.0", "integer": "0", "logical": "False"}
 
+#: unrolling bound for constant do loops — beyond this the generated source
+#: would dwarf the interpreted body it replaces
+_UNROLL_LIMIT = 64
+
+
+# --------------------------------------------------------------------------- #
+# Accounting replay (the hook fused kernels drive)
+# --------------------------------------------------------------------------- #
+class KernelAccounting:
+    """Replays the vectorized interpreter's statement accounting.
+
+    A generated kernel calls ``_acct.hit(filename, line, mask)`` once per
+    executed statement; ``hit`` mirrors
+    :meth:`repro.runtime.vec.VecNodeCompiler._account_fn` exactly: the
+    shared ``statements_executed`` counter advances (with the statement
+    budget checked), under a member mask the per-member
+    ``_extra_statements`` corrections and per-line coverage counts absorb
+    the mask, and a statement no member executes (an untaken branch)
+    accounts nothing — matching the interpreted runtime, which never
+    enters an all-false branch.  Dependency kernels called under a branch
+    mask receive a derived accounting context (:meth:`under`), so nested
+    kernels account under the combined mask like an interpreted callee
+    executing under ``interp._mask``.
+    """
+
+    __slots__ = ("interp", "mask")
+
+    def __init__(self, interp, mask: Optional[np.ndarray] = None):
+        self.interp = interp
+        self.mask = mask
+
+    def under(self, mask) -> "KernelAccounting":
+        """A derived context whose statements also run under ``mask``."""
+        if mask is None:
+            return self
+        m = np.asarray(mask, dtype=bool)
+        if self.mask is not None:
+            m = self.mask & m
+        return KernelAccounting(self.interp, m)
+
+    def hit(self, filename: str, line: int, mask=None) -> None:
+        interp = self.interp
+        m = self.mask
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            m = mask if m is None else (m & mask)
+        om = interp._mask
+        if om is not None:
+            m = om if m is None else (m & om)
+        if m is not None and m.ndim == 0:
+            if not bool(m):
+                return  # a branch no member takes: never executed
+            m = None
+        limit = interp.max_statements
+        if m is None:
+            n = interp.statements_executed + 1
+            interp.statements_executed = n
+            if n > limit:
+                raise StatementLimitExceeded(
+                    f"statement budget of {limit} exhausted "
+                    f"(in fused kernel at {filename}:{line})"
+                )
+            cov = interp._cov_counts
+            if cov is not None and line > 0:
+                key = (filename, line)
+                cov[key] = cov.get(key, 0) + 1
+            return
+        mi = np.broadcast_to(m, (interp.n_members,))
+        if not mi.any():
+            return  # ditto, member-varying shape
+        n = interp.statements_executed + 1
+        interp.statements_executed = n
+        if n > limit:
+            raise StatementLimitExceeded(
+                f"statement budget of {limit} exhausted "
+                f"(in fused kernel at {filename}:{line})"
+            )
+        mi = mi.astype(np.int64)
+        interp._extra_statements += mi - 1
+        cov = interp._cov_counts
+        if cov is not None and line > 0:
+            key = (filename, line)
+            cov[key] = cov.get(key, 0) + mi
+
+
+def _sub_acct(acct: Optional[KernelAccounting], mask):
+    """Derive a dependency-call accounting context (None passes through)."""
+    return None if acct is None else acct.under(mask)
+
 
 @dataclass
 class Kernel:
-    """One generated, executable numpy kernel."""
+    """One generated, executable numpy kernel.
+
+    ``fn(*args, _acct=None)`` evaluates the kernel; functions return their
+    result value, elemental subroutines return a tuple of their
+    ``intent(out)``/``intent(inout)`` dummies (``out_names`` order).
+    ``source_modules`` names every module the generated code depends on —
+    the defining module, recursively extracted callees' modules, and
+    modules whose constants were baked in as literals — so callers can
+    refuse kernels whose inputs a source patch may have changed.
+    """
 
     module: str
     function: str
     arg_names: list[str]
     source: str
     fn: Callable
+    out_names: list[str] = field(default_factory=list)
+    source_modules: frozenset[str] = frozenset()
+
+    @property
+    def is_subroutine(self) -> bool:
+        return bool(self.out_names)
 
     def __call__(self, *args, **kwargs):
         return self.fn(*args, **kwargs)
@@ -173,6 +295,12 @@ class _Extractor:
         self.locals: set[str] = set()
         self.lines: list[str] = []
         self._mask_n = 0
+        #: branch mask (as a source expression) the statement currently
+        #: being emitted runs under — dependency-kernel calls anywhere in
+        #: its expressions must account under it
+        self._stmt_mask: Optional[str] = None
+        #: modules the generated code depends on (constants + callees)
+        self.source_modules: set[str] = {module}
 
     # ------------------------------------------------------- expressions
     def expr(self, node: Expr) -> str:
@@ -240,7 +368,12 @@ class _Extractor:
                     _deps=self.deps,
                 )
                 self.deps[sub.name] = dep
-            return f"_k_{sub.name}({', '.join(args)})"
+            self.source_modules |= set(dep.source_modules)
+            # the callee's statements account under the call site's mask,
+            # exactly like an interpreted callee running under interp._mask
+            mask = self._stmt_mask
+            acct = "_acct" if mask is None else f"_sub_acct(_acct, {mask})"
+            return f"_k_{sub.name}({', '.join(args)}, _acct={acct})"
         raise KernelError(
             f"cannot extract reference {node.name!r} (array subscript, "
             "unknown function, or unsupported intrinsic)"
@@ -260,6 +393,8 @@ class _Extractor:
             raise KernelError(
                 f"unresolvable name {name!r} in {self.module!r}"
             )
+        if scope.name:
+            self.source_modules.add(scope.name)
         value = scope.get(rname)
         if isinstance(value, (bool, np.bool_)):
             return "True" if value else "False"
@@ -272,13 +407,58 @@ class _Extractor:
             f"{type(value).__name__})"
         )
 
+    def _const_int(self, node: Expr) -> int:
+        """Fold a do-loop bound to a compile-time integer, or refuse."""
+        if isinstance(node, NumberLit):
+            if not node.is_integer:
+                raise KernelError("do-loop bounds must be integers")
+            return int(node.value)
+        if isinstance(node, VarRef) and node.name not in self.locals:
+            text = self._constant(node.name)
+            try:
+                return int(text)
+            except ValueError:
+                raise KernelError(
+                    f"do-loop bound {node.name!r} is not an integer constant"
+                ) from None
+        if isinstance(node, UnaryOp):
+            if node.op == "-":
+                return -self._const_int(node.operand)
+            if node.op == "+":
+                return self._const_int(node.operand)
+        if isinstance(node, BinOp):
+            left = self._const_int(node.left)
+            right = self._const_int(node.right)
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                return left * right
+        raise KernelError(
+            "do-loop bounds must fold to compile-time integer constants "
+            "(member-varying or runtime bounds cannot be unrolled)"
+        )
+
     # -------------------------------------------------------- statements
+    def _hit(self, stmt: Stmt, mask: Optional[str], indent: str) -> None:
+        """Emit the accounting call replaying this statement's execution."""
+        loc = stmt.location
+        args = f"{loc.filename!r}, {int(loc.line)}"
+        if mask is not None:
+            args += f", {mask}"
+        self.lines.append(
+            f"{indent}if _acct is not None: _acct.hit({args})"
+        )
+
     def emit(self, stmts: list[Stmt], mask: Optional[str], indent: str):
         for stmt in stmts:
             if isinstance(stmt, Assignment):
                 self._emit_assignment(stmt, mask, indent)
             elif isinstance(stmt, IfBlock):
                 self._emit_if(stmt, mask, indent)
+            elif isinstance(stmt, DoLoop):
+                self._emit_do(stmt, mask, indent)
             else:
                 raise KernelError(
                     f"unsupported statement {type(stmt).__name__} at "
@@ -298,7 +478,12 @@ class _Extractor:
             raise KernelError(
                 f"assignment to non-local {name!r} at {stmt.location}"
             )
-        value = self.expr(stmt.value)
+        self._hit(stmt, mask, indent)
+        prev_mask, self._stmt_mask = self._stmt_mask, mask
+        try:
+            value = self.expr(stmt.value)
+        finally:
+            self._stmt_mask = prev_mask
         if mask is None:
             self.lines.append(f"{indent}{name} = {value}")
         else:
@@ -307,6 +492,19 @@ class _Extractor:
             )
 
     def _emit_if(self, stmt: IfBlock, mask: Optional[str], indent: str):
+        # one accounting hit for the if statement itself, under the
+        # enclosing mask (branch bodies account per statement below);
+        # conditions are evaluated under the enclosing mask too
+        self._hit(stmt, mask, indent)
+        prev_mask, self._stmt_mask = self._stmt_mask, mask
+        try:
+            self._emit_if_branches(stmt, mask, indent)
+        finally:
+            self._stmt_mask = prev_mask
+
+    def _emit_if_branches(
+        self, stmt: IfBlock, mask: Optional[str], indent: str
+    ):
         remaining: Optional[str] = mask
         first = True
         for cond, body in stmt.branches:
@@ -337,10 +535,47 @@ class _Extractor:
                 remaining = f"(~_m{n} & {prev})"
             first = False
 
+    def _emit_do(self, stmt: DoLoop, mask: Optional[str], indent: str):
+        """Unroll a bounded do loop with compile-time-constant bounds.
 
-def _declared_locals(sub: Subprogram) -> dict[str, str]:
-    """name -> base type of every declared entity (args included)."""
-    out: dict[str, str] = {}
+        Unrolling (not an axis reduction) is deliberate: an accumulate
+        body like ``y = y + x`` unrolls into the same sequential fold the
+        interpreter executes, so rounding is bit-identical; ``np.sum``
+        would reassociate and fail the ``nrms == 0`` conformance gate.
+        """
+        if stmt.var not in self.locals:
+            raise KernelError(
+                f"do-loop variable {stmt.var!r} is not a declared local at "
+                f"{stmt.location}"
+            )
+        start = self._const_int(stmt.start)
+        stop = self._const_int(stmt.stop)
+        step = 1 if stmt.step is None else self._const_int(stmt.step)
+        if step == 0:
+            raise KernelError(f"zero do-loop step at {stmt.location}")
+        count = int(np.trunc((stop - start + step) / step))
+        if count < 0:
+            count = 0
+        if count > _UNROLL_LIMIT:
+            raise KernelError(
+                f"do loop at {stmt.location} spans {count} iterations — "
+                f"beyond the {_UNROLL_LIMIT}-iteration unrolling bound"
+            )
+        # the do statement accounts once per loop execution (as in the
+        # interpreter's _build_do); body statements account per iteration
+        self._hit(stmt, mask, indent)
+        value = start
+        for _ in range(count):
+            self.lines.append(f"{indent}{stmt.var} = {value}")
+            self.emit(stmt.body, mask, indent)
+            value += step
+        # Fortran leaves the loop variable one step past the last value
+        self.lines.append(f"{indent}{stmt.var} = {start + count * step}")
+
+
+def _declared_entities(sub: Subprogram) -> dict[str, tuple[str, Optional[str]]]:
+    """name -> (base type, intent) of every declared entity (args included)."""
+    out: dict[str, tuple[str, Optional[str]]] = {}
     for decl in sub.declarations:
         if not isinstance(decl, Declaration):
             continue
@@ -349,7 +584,7 @@ def _declared_locals(sub: Subprogram) -> dict[str, str]:
                 raise KernelError(
                     f"array local {entity.name!r} is not supported"
                 )
-            out[entity.name] = decl.base_type
+            out[entity.name] = (decl.base_type, decl.intent)
     return out
 
 
@@ -364,8 +599,12 @@ def extract_kernel(
     ``source`` is a :class:`~repro.model.builder.ModelSource`, a
     :class:`~repro.model.ModelConfig`, ``None`` (the control build) — or an
     already-constructed scalar :class:`Interpreter` when extracting several
-    kernels against one build.  Raises :class:`KernelError` when the
-    function falls outside the vectorizable subset.
+    kernels against one build.  Functions extract to result-returning
+    kernels; ``elemental`` subroutines extract to kernels taking the
+    ``intent(in)``/``intent(inout)`` dummies and returning the
+    ``intent(out)``/``intent(inout)`` dummies as a tuple.  Raises
+    :class:`KernelError` when the subprogram falls outside the
+    vectorizable subset.
     """
     if isinstance(source, Interpreter):
         interp = source
@@ -379,19 +618,45 @@ def extract_kernel(
     if resolved is None:
         raise KernelError(f"no function {function!r} in module {module!r}")
     target_mrt, sub = resolved
+    out_names: list[str] = []
+    decls = _declared_entities(sub)
     if not sub.is_function:
-        raise KernelError(f"{function!r} is a subroutine, not a function")
+        if "elemental" not in sub.prefixes:
+            raise KernelError(
+                f"{function!r} is a non-elemental subroutine; only "
+                "elemental subroutines are extractable"
+            )
+        for name in sub.args:
+            _, intent = decls.get(name, ("real", None))
+            if intent is None:
+                raise KernelError(
+                    f"elemental subroutine dummy {name!r} has no declared "
+                    "intent"
+                )
+            if intent in ("out", "inout"):
+                out_names.append(name)
+        if not out_names:
+            raise KernelError(
+                f"elemental subroutine {function!r} has no intent(out) or "
+                "intent(inout) dummies — nothing to return"
+            )
     # re-anchor on the defining module (function may be use-associated)
     ex = _Extractor(interp, target_mrt.node.name)
     if _deps is not None:
         ex.deps = _deps
 
-    decls = _declared_locals(sub)
-    ex.locals = set(sub.args) | set(decls) | {sub.result}
-    header = f"def _kernel({', '.join(sub.args)}):"
+    in_args = [
+        name
+        for name in sub.args
+        if decls.get(name, ("real", None))[1] != "out"
+    ]
+    ex.locals = set(sub.args) | set(decls)
+    if sub.is_function:
+        ex.locals.add(sub.result)
+    header = f"def _kernel({', '.join(in_args)}, *, _acct=None):"
     ex.lines.append(header)
-    for name, base_type in decls.items():
-        if name in sub.args:
+    for name, (base_type, intent) in decls.items():
+        if name in in_args:
             continue
         init = _SCALAR_INITS.get(base_type)
         if init is None:
@@ -399,23 +664,67 @@ def extract_kernel(
                 f"local {name!r} has unsupported type {base_type!r}"
             )
         ex.lines.append(f"    {name} = {init}")
-    if sub.result not in decls and sub.result not in sub.args:
+    if (
+        sub.is_function
+        and sub.result not in decls
+        and sub.result not in sub.args
+    ):
         ex.lines.append(f"    {sub.result} = 0.0")
     ex.emit(sub.body, None, "    ")
-    ex.lines.append(f"    return {sub.result}")
+    if sub.is_function:
+        ex.lines.append(f"    return {sub.result}")
+    else:
+        ex.lines.append(f"    return ({', '.join(out_names)},)")
     text = "\n".join(ex.lines) + "\n"
 
-    namespace: dict = {"np": np}
+    namespace: dict = {"np": np, "_sub_acct": _sub_acct}
     for dep_name, dep in ex.deps.items():
         namespace[f"_k_{dep_name}"] = dep.fn
     exec(compile(text, f"<kernel {module}::{function}>", "exec"), namespace)
     return Kernel(
         module=target_mrt.node.name,
         function=function,
-        arg_names=list(sub.args),
+        arg_names=in_args,
         source=text,
         fn=namespace["_kernel"],
+        out_names=out_names,
+        source_modules=frozenset(ex.source_modules),
     )
+
+
+def _reference_outputs(
+    interp: Interpreter, kernel: Kernel, scalars: list[float]
+) -> tuple:
+    """One scalar-interpreter evaluation of the kernel's subprogram."""
+    mrt = interp.module(kernel.module)
+    resolved = interp._lookup_proc(mrt, kernel.function, frozenset())
+    if resolved is None:  # pragma: no cover - kernel came from this interp
+        raise KernelError(
+            f"no function {kernel.function!r} in module {kernel.module!r}"
+        )
+    target_mrt, sub = resolved
+    if sub.is_function:
+        return (
+            float(interp.call(kernel.module, kernel.function, scalars)),
+        )
+    # elemental subroutine: bind scratch variables so intent(out)/inout
+    # copy-back lands somewhere we can read it back from
+    scratch = Frame(target_mrt, sub, Scope("<kernel-verify>"), None)
+    decls = _declared_entities(sub)
+    values = dict(zip(kernel.arg_names, scalars))
+    for name in sub.args:
+        base_type, _ = decls.get(name, ("real", None))
+        init = {"real": 0.0, "integer": 0, "logical": False}[base_type]
+        scratch.scope.define(name, values.get(name, init))
+    interp._call_subprogram(
+        target_mrt,
+        sub,
+        [VarRef(name) for name in sub.args],
+        {},
+        scratch,
+        want_result=False,
+    )
+    return tuple(float(scratch.scope.get(name)) for name in kernel.out_names)
 
 
 def verify_kernel(
@@ -432,10 +741,12 @@ def verify_kernel(
 
     ``samples`` maps argument names to equal-length 1-D arrays; without it,
     ``ranges`` (``(name, lo, hi)`` triples, e.g. from a
-    :class:`KernelTarget`) drive a deterministic uniform draw.  The kernel
-    is conformant when ``nrms <= tol`` — the default bound of ``1e-12``
-    admits only reassociation-level deviations, and in practice the
-    extracted kernels reproduce the interpreter bit-for-bit.
+    :class:`KernelTarget`) drive a deterministic uniform draw.  Subroutine
+    kernels compare every returned output against the interpreter's
+    copy-back values; the reported ``nrms`` is the worst output's.  The
+    kernel is conformant when ``nrms <= tol`` — the default bound of
+    ``1e-12`` admits only reassociation-level deviations, and in practice
+    the extracted kernels reproduce the interpreter bit-for-bit.
     """
     if isinstance(source, Interpreter):
         interp = source
@@ -453,18 +764,23 @@ def verify_kernel(
         }
     columns = [np.asarray(samples[name], float) for name in kernel.arg_names]
     count = len(columns[0]) if columns else 0
-    got = np.asarray(kernel.fn(*columns), dtype=np.float64)
-    want = np.empty(count, dtype=np.float64)
+    raw = kernel.fn(*columns)
+    got = raw if kernel.is_subroutine else (raw,)
+    got = tuple(
+        np.broadcast_to(np.asarray(g, dtype=np.float64), (count,))
+        for g in got
+    )
+    n_outputs = len(got)
+    want = np.empty((n_outputs, count), dtype=np.float64)
     for i in range(count):
-        want[i] = float(
-            interp.call(
-                kernel.module,
-                kernel.function,
-                [float(col[i]) for col in columns],
-            )
+        refs = _reference_outputs(
+            interp, kernel, [float(col[i]) for col in columns]
         )
+        for j, ref in enumerate(refs):
+            want[j, i] = ref
+    worst = max(nrms(g, w) for g, w in zip(got, want)) if count else 0.0
     return KernelReport(
-        kernel=kernel, n_samples=count, nrms=nrms(got, want), tol=tol
+        kernel=kernel, n_samples=count, nrms=worst, tol=tol
     )
 
 

@@ -1,0 +1,191 @@
+"""Which extracted kernels the vectorized runtime is allowed to trust.
+
+The fused runtime (:mod:`repro.runtime.vec`) only swaps an interpreted
+call-site body for a generated numpy kernel when that kernel sits in a
+:class:`KernelRegistry`, and a kernel only enters a registry after
+clearing three gates:
+
+* **conformance** — :func:`~repro.kgen.extract.verify_kernel` must
+  measure ``nrms == 0`` against the scalar interpreter *of the exact
+  source build being run* (the paper's normalized-RMS criterion, with
+  the tolerance pinned to zero: fused execution must be bit-identical,
+  not merely close);
+* **patch isolation** — a kernel whose defining module, extracted
+  callees, or baked-in constants come from a *patched* module is
+  refused, so an injected bug is always executed by the interpreter and
+  can never be masked (or accidentally reproduced) by a stale kernel;
+* **FP-model compatibility** — generated kernels use plain numpy
+  operators, so any :class:`~repro.runtime.fpu.FPConfig` that enables
+  FMA contraction or flush-to-zero rejects every kernel and the run
+  falls back to full interpretation.
+
+Rejections are not errors: they increment the ``kgen.fallbacks`` counter
+and the runtime interprets the call as before.  The registry for a given
+``(source, fp)`` pair is memoized process-wide — extraction and the
+256-sample verification sweep run once, not once per batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..model.builder import ModelConfig, ModelSource, build_model_source
+from ..model.patches import get_patch
+from ..obs.metrics import get_metrics
+from ..runtime.interpreter import Interpreter
+from .extract import (
+    DEFAULT_KERNEL_TARGETS,
+    Kernel,
+    KernelError,
+    KernelReport,
+    KernelTarget,
+    extract_kernel,
+    verify_kernel,
+)
+
+__all__ = ["KernelRegistry", "build_kernel_registry", "kernel_registry_for"]
+
+
+class KernelRegistry:
+    """Conformant kernels indexed by ``(module, function)``.
+
+    ``tol`` is the admission bound on a kernel's verified nrms; the
+    default of ``0.0`` is the fused runtime's bit-identity bar.
+    ``rejected`` records every candidate that failed a gate with the
+    reason, for observability and tests.
+    """
+
+    def __init__(self, tol: float = 0.0):
+        self.tol = tol
+        self._kernels: dict[tuple[str, str], Kernel] = {}
+        self.reports: dict[tuple[str, str], KernelReport] = {}
+        self.rejected: dict[tuple[str, str], str] = {}
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def add(self, kernel: Kernel, report: KernelReport) -> bool:
+        """Admit ``kernel`` iff its verified nrms is within ``tol``.
+
+        Returns True on admission; on failure the kernel lands in
+        ``rejected`` and ``kgen.fallbacks`` is incremented.
+        """
+        key = (kernel.module, kernel.function)
+        if report.nrms > self.tol:
+            self.reject(
+                kernel.module,
+                kernel.function,
+                f"nrms {report.nrms:.3e} exceeds tolerance {self.tol:.3e}",
+            )
+            return False
+        self._kernels[key] = kernel
+        self.reports[key] = report
+        return True
+
+    def reject(self, module: str, function: str, reason: str) -> None:
+        self.rejected[(module, function)] = reason
+        get_metrics().inc("kgen.fallbacks")
+
+    def lookup(self, module: str, function: str) -> Optional[Kernel]:
+        return self._kernels.get((module, function))
+
+    def kernels(self) -> list[Kernel]:
+        return list(self._kernels.values())
+
+
+def _patched_modules(source: ModelSource) -> set[str]:
+    """Module names whose source text a patch in ``source.config`` touches."""
+    filenames = {
+        get_patch(name).filename for name in source.config.patches
+    }
+    if not filenames:
+        return set()
+    out: set[str] = set()
+    for filename, ast in source.parse().items():
+        if filename in filenames:
+            out.update(mod.name for mod in ast.modules)
+    return out
+
+
+def build_kernel_registry(
+    source=None,
+    fp=None,
+    targets: tuple[KernelTarget, ...] = DEFAULT_KERNEL_TARGETS,
+    tol: float = 0.0,
+) -> KernelRegistry:
+    """Extract, verify, and gate every target against one source build.
+
+    ``source`` is a :class:`~repro.model.builder.ModelSource`,
+    :class:`~repro.model.ModelConfig`, or ``None`` (control build); ``fp``
+    the run's :class:`~repro.runtime.fpu.FPConfig`.  Every rejection —
+    non-default FP model, patched module overlap, extraction failure,
+    nonzero nrms — is recorded in ``registry.rejected`` and counted in
+    ``kgen.fallbacks``; the returned registry holds only kernels the
+    fused runtime may execute in place of interpretation.
+    """
+    if source is None or isinstance(source, ModelConfig):
+        source = build_model_source(source)
+    registry = KernelRegistry(tol=tol)
+    if fp is not None and (fp.fma or fp.flush_to_zero):
+        # kernels are plain-numpy; a contracted/FTZ FP model would diverge
+        for target in targets:
+            registry.reject(
+                target.module,
+                target.function,
+                f"fp model {fp!r} is incompatible with plain-numpy kernels",
+            )
+        return registry
+    patched = _patched_modules(source)
+    interp = Interpreter(source.parse(), collect_coverage=False)
+    for target in targets:
+        try:
+            kernel = extract_kernel(interp, target.module, target.function)
+        except KernelError as err:
+            registry.reject(target.module, target.function, str(err))
+            continue
+        if patched & set(kernel.source_modules):
+            touched = ", ".join(sorted(patched & set(kernel.source_modules)))
+            registry.reject(
+                kernel.module,
+                kernel.function,
+                f"depends on patched module(s): {touched}",
+            )
+            continue
+        report = verify_kernel(
+            kernel, interp, ranges=target.ranges, tol=tol
+        )
+        registry.add(kernel, report)
+    return registry
+
+
+#: (source digest, fp identity) -> registry; bounded small — a sweep
+#: touches six builds x two fp models at most
+_REGISTRY_CACHE: dict[tuple, KernelRegistry] = {}
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY_CACHE_MAX = 16
+
+
+def _fp_key(fp) -> tuple:
+    if fp is None:
+        return ()
+    return (
+        bool(fp.fma),
+        None if fp.fma_modules is None else tuple(sorted(fp.fma_modules)),
+        bool(fp.flush_to_zero),
+    )
+
+
+def kernel_registry_for(source: ModelSource, fp=None) -> KernelRegistry:
+    """The memoized default-target registry for one ``(source, fp)`` pair."""
+    key = (source.content_digest(), _fp_key(fp))
+    with _REGISTRY_LOCK:
+        hit = _REGISTRY_CACHE.get(key)
+    if hit is not None:
+        return hit
+    registry = build_kernel_registry(source, fp)
+    with _REGISTRY_LOCK:
+        if len(_REGISTRY_CACHE) >= _REGISTRY_CACHE_MAX:
+            _REGISTRY_CACHE.pop(next(iter(_REGISTRY_CACHE)))
+        _REGISTRY_CACHE[key] = registry
+    return registry

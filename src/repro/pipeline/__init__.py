@@ -44,7 +44,12 @@ from .core import (
     StageRecord,
     config_token,
 )
-from .stages import RootCauseAnalysis, accepted_ensemble, root_cause_pipeline
+from .stages import (
+    RootCauseAnalysis,
+    accepted_ensemble,
+    fused_experimental_pipeline,
+    root_cause_pipeline,
+)
 from .store import ArtifactStore, StoreError, json_payload, payload_json
 
 __all__ = [
@@ -60,6 +65,7 @@ __all__ = [
     "StoreError",
     "accepted_ensemble",
     "config_token",
+    "fused_experimental_pipeline",
     "json_payload",
     "payload_json",
     "root_cause_pipeline",

@@ -284,6 +284,71 @@ class VecNodeCompiler(NodeCompiler):
 
         return account
 
+    # ----------------------------------------------------- kernel fusion
+    def _specialize_apply(self, node: Apply, frame) -> Callable:
+        """Swap a conformant kgen kernel in for an elemental function call.
+
+        The swap happens at call-site specialization time and only when
+        every gate holds: the interpreter carries a
+        :class:`~repro.kgen.registry.KernelRegistry`, the name resolves to
+        an ``elemental`` function (not an array or subroutine), the call is
+        fully positional, and the registry holds a verified kernel for the
+        resolved ``(module, function)``.  Even then each *execution*
+        re-checks runtime shapes: the kernel runs only for batch-scalar
+        ``(n,)``/scalar arguments, and anything else — plain model arrays,
+        model-shaped batches — takes the interpreted elemental path and
+        counts a ``kgen.fallbacks``.  Accounting is replayed through the
+        kernel's ``_acct`` hook, so statement counts and coverage stay
+        bit-identical to interpretation.
+        """
+        interp = self.interp
+        base = NodeCompiler._specialize_apply(self, node, frame)
+        registry = interp.kernels
+        if registry is None or node.keywords:
+            return base
+        if interp._lookup_var(frame, node.name) is not None:
+            return base
+        resolved = interp._lookup_proc(frame.module, node.name, frozenset())
+        if resolved is None:
+            return base
+        target_mrt, sub = resolved
+        if (
+            not sub.is_function
+            or "elemental" not in sub.prefixes
+            or len(node.args) != len(sub.args)
+        ):
+            return base
+        kernel = registry.lookup(target_mrt.node.name, sub.name)
+        if kernel is None:
+            return base
+        arg_fns = [self.expr(a) for a in node.args]
+        fn = kernel.fn
+        dispatch = interp._dispatch_elemental
+
+        def run(f):
+            values = [a(f) for a in arg_fns]
+            fusable = False
+            for v in values:
+                if isinstance(v, MemberBatch):
+                    if np.asarray(v).ndim != 1:
+                        fusable = False
+                        break
+                    fusable = True
+                elif isinstance(v, np.ndarray):
+                    fusable = False
+                    break
+            if not fusable:
+                # scalar or model-array call: interpret, exactly like the
+                # elemental guard in _call_subprogram (args already
+                # evaluated once, so side effects and accounting match)
+                interp.kernel_fallbacks += 1
+                return dispatch(target_mrt, sub, values, f)
+            interp.kernel_calls += 1
+            out = fn(*values, _acct=interp._kernel_acct)
+            return np.asarray(out).view(MemberBatch)
+
+        return run
+
     # ----------------------------------------------------- control flow
     def _build_if(self, node: IfBlock) -> Callable:
         interp = self.interp
@@ -708,6 +773,13 @@ class VecInterpreter(Interpreter):
     batch width ``n_members``.  The member axis is invisible to model
     code; per-member values enter through the ``cam_init`` arguments
     (``pertlim``/``seed`` batches) and the per-member PRNG streams.
+
+    ``kernels`` optionally carries a
+    :class:`~repro.kgen.registry.KernelRegistry`; call sites whose
+    resolved elemental function has a verified kernel execute the fused
+    numpy body instead of interpreting (see
+    :meth:`VecNodeCompiler._specialize_apply`), counted in
+    ``kernel_calls``/``kernel_fallbacks``.
     """
 
     _compiler_factory = VecNodeCompiler
@@ -720,6 +792,7 @@ class VecInterpreter(Interpreter):
         collect_coverage: bool = True,
         max_statements: int = 50_000_000,
         compile: bool = True,
+        kernels=None,
     ):
         if not compile:
             raise ValueError(
@@ -736,6 +809,14 @@ class VecInterpreter(Interpreter):
         self._extra_statements = np.zeros(self.n_members, dtype=np.int64)
         #: member-divergent `if` conditions seen (batch collapsed to a mask)
         self.mask_divergences = 0
+        #: verified-kernel registry (None => interpret everything)
+        self.kernels = kernels
+        #: fused kernel executions / interpreted fallbacks at kernel sites
+        self.kernel_calls = 0
+        self.kernel_fallbacks = 0
+        from ..kgen.extract import KernelAccounting
+
+        self._kernel_acct = KernelAccounting(self)
         super().__init__(
             asts,
             fp=fp,
@@ -1052,20 +1133,31 @@ class VecInterpreter(Interpreter):
 # --------------------------------------------------------------------------- #
 def _member_value(value, m: int) -> np.ndarray:
     if isinstance(value, MemberBatch):
-        return np.asarray(value)[m].copy()
+        return value.lane(m)
     return np.asarray(value)
 
 
-def run_model_batch(configs, source=None):
+def run_model_batch(configs, source=None, kernels="auto"):
     """Run every member of ``configs`` in one vectorized evaluation.
 
-    The configs must agree on everything except ``pertlim`` and ``seed``
-    (model build, nsteps, fp model, coverage, statement budget) — exactly
-    the shape of an :class:`~repro.ensemble.EnsembleSpec`'s member
-    configs.  Returns one :class:`~repro.runtime.RunResult` per config,
-    each bit-identical to what :func:`repro.runtime.run_model` produces
-    for the same config.
+    The configs must agree on the model build, ``nsteps`` and fp model —
+    those shape the single fused evaluation — while ``pertlim``/``seed``
+    vary per (config, member) lane and ``collect_coverage`` /
+    ``max_statements`` may differ per lane too: coverage is gathered when
+    any lane wants it (lanes that opted out still get an empty trace, as
+    in their scalar runs) and the batch runs under the widest statement
+    budget with each lane's own budget re-checked afterwards.  Returns
+    one :class:`~repro.runtime.RunResult` per config, each bit-identical
+    to what :func:`repro.runtime.run_model` produces for the same config.
+
+    ``kernels`` selects kernel fusion: ``"auto"`` (default) builds or
+    reuses the memoized conformant-kernel registry for this source build
+    and fp model (disabled when the ``REPRO_KGEN_FUSION`` environment
+    variable is ``0``), ``None`` interprets everything, and an explicit
+    :class:`~repro.kgen.registry.KernelRegistry` is used as given.
     """
+    import os
+
     from ..model.builder import build_model_source
     from ..model.registry import iter_output_fields
     from . import RunResult
@@ -1079,13 +1171,11 @@ def run_model_batch(configs, source=None):
             config.model != head.model
             or config.nsteps != head.nsteps
             or config.fp != head.fp
-            or config.collect_coverage != head.collect_coverage
-            or config.max_statements != head.max_statements
         ):
             raise ValueError(
                 "run_model_batch members must share the model build, "
-                "nsteps, fp model, coverage flag and statement budget "
-                "(only pertlim and seed may vary)"
+                "nsteps and fp model (pertlim, seed, coverage flag and "
+                "statement budget may vary per lane)"
             )
     if source is None:
         source = build_model_source(head.model)
@@ -1096,12 +1186,25 @@ def run_model_batch(configs, source=None):
         )
     asts = source.parse()
 
+    if kernels == "auto":
+        if os.environ.get("REPRO_KGEN_FUSION", "").strip() == "0":
+            kernels = None
+        else:
+            from ..kgen.registry import kernel_registry_for
+
+            kernels = kernel_registry_for(source, head.fp)
+
+    collect_coverage = any(c.collect_coverage for c in configs)
+    budget = max(c.max_statements for c in configs)
+    config_shapes = {(c.collect_coverage, c.max_statements) for c in configs}
+
     interp = VecInterpreter(
         asts,
         seeds=[int(c.seed) for c in configs],
         fp=head.fp,
-        collect_coverage=head.collect_coverage,
-        max_statements=head.max_statements,
+        collect_coverage=collect_coverage,
+        max_statements=budget,
+        kernels=kernels,
     )
     pert = np.array(
         [float(c.pertlim) for c in configs], dtype=np.float64
@@ -1136,12 +1239,23 @@ def run_model_batch(configs, source=None):
             for name in names
         }
         statements = interp.member_statements(m)
+        if statements > config.max_statements:
+            # the batch ran under the widest lane budget; a lane whose own
+            # budget was exceeded must fail exactly as its scalar run would
+            raise StatementLimitExceeded(
+                f"statement budget of {config.max_statements} exhausted "
+                f"for batch lane {m} (executed {statements})"
+            )
         total_statements += statements
         results.append(
             RunResult(
                 config=config,
                 outputs=outputs,
-                coverage=interp.member_coverage(m),
+                coverage=(
+                    interp.member_coverage(m)
+                    if config.collect_coverage
+                    else CoverageTrace()
+                ),
                 statements_executed=statements,
                 prng_draws=prng_draws,
                 first_outputs=first_outputs,
@@ -1155,4 +1269,10 @@ def run_model_batch(configs, source=None):
     metrics.inc("vec.members", len(configs))
     metrics.inc("vec.mask_collapses", interp.mask_divergences)
     metrics.inc("interpreter.statements", total_statements)
+    if len(config_shapes) > 1:
+        metrics.inc("vec.fused_configs", len(config_shapes) - 1)
+    if interp.kernel_calls:
+        metrics.inc("kgen.kernel_calls", interp.kernel_calls)
+    if interp.kernel_fallbacks:
+        metrics.inc("kgen.fallbacks", interp.kernel_fallbacks)
     return results

@@ -6,10 +6,12 @@ import pytest
 from repro.ensemble import (
     EnsembleSpec,
     ExecutionBackend,
+    InvalidBatchSizeError,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     UnknownBackendError,
+    VectorizedBackend,
     generate_ensemble,
     get_backend,
     list_backends,
@@ -17,6 +19,7 @@ from repro.ensemble import (
 )
 from repro.ensemble.backends import (
     BACKEND_ENV_VAR,
+    VEC_BATCH_ENV_VAR,
     _model_token,
     _WORKER_SOURCES,
 )
@@ -226,6 +229,91 @@ class TestBackendCacheInterplay:
         assert warm.cache_hits == 4 and warm.cache_misses == 0
         np.testing.assert_array_equal(warm.matrix, cold.matrix)
         assert warm.coverage == cold.coverage
+
+
+class TestVectorizedBatchSize:
+    """The vectorized batch width is a *where* knob: it must never change
+    results or cache keys, and nonsense values fail before any member runs."""
+
+    def test_constructor_rejects_nonsense(self):
+        for bad in (0, -3, True, 2.5, "x"):
+            with pytest.raises(InvalidBatchSizeError):
+                VectorizedBackend(batch_size=bad)
+
+    def test_error_message_names_the_origin(self):
+        with pytest.raises(InvalidBatchSizeError, match="batch_size"):
+            VectorizedBackend(batch_size=0)
+
+    def test_describe_records_the_width(self):
+        assert VectorizedBackend().describe() == "vectorized(batch=auto)"
+        assert (
+            VectorizedBackend(batch_size=2).describe()
+            == "vectorized(batch=2)"
+        )
+
+    def test_batched_generation_is_bit_identical(
+        self, shared_source, serial_ensemble
+    ):
+        ens = generate_ensemble(
+            SMALL,
+            source=shared_source,
+            backend=VectorizedBackend(batch_size=2),
+        )
+        np.testing.assert_array_equal(ens.matrix, serial_ensemble.matrix)
+        assert ens.coverage == serial_ensemble.coverage
+        assert ens.stats["backend"] == "vectorized(batch=2)"
+
+    def test_env_var_sets_the_width(
+        self, shared_source, serial_ensemble, monkeypatch
+    ):
+        monkeypatch.setenv(VEC_BATCH_ENV_VAR, "3")
+        ens = generate_ensemble(
+            SMALL, source=shared_source, backend="vectorized"
+        )
+        assert ens.stats["backend"] == "vectorized(batch=3)"
+        np.testing.assert_array_equal(ens.matrix, serial_ensemble.matrix)
+
+    def test_env_var_nonsense_fails_fast(self, monkeypatch):
+        monkeypatch.setenv(VEC_BATCH_ENV_VAR, "banana")
+        with pytest.raises(InvalidBatchSizeError, match="banana"):
+            VectorizedBackend().effective_batch_size()
+
+    def test_constructor_width_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(VEC_BATCH_ENV_VAR, "3")
+        assert VectorizedBackend(batch_size=2).effective_batch_size() == 2
+
+    def test_spec_vec_batch_configures_the_backend(self, shared_source):
+        import dataclasses
+
+        spec = dataclasses.replace(SMALL, backend="vectorized", vec_batch=2)
+        ens = generate_ensemble(spec, source=shared_source)
+        assert ens.stats["backend"] == "vectorized(batch=2)"
+
+    def test_spec_vec_batch_validates_at_construction(self):
+        with pytest.raises(InvalidBatchSizeError, match="vec_batch"):
+            EnsembleSpec(n_members=2, vec_batch=0)
+
+    def test_instance_width_wins_over_spec(self, shared_source):
+        import dataclasses
+
+        spec = dataclasses.replace(SMALL, vec_batch=3)
+        ens = generate_ensemble(
+            spec,
+            source=shared_source,
+            backend=VectorizedBackend(batch_size=2),
+        )
+        assert ens.stats["backend"] == "vectorized(batch=2)"
+
+    def test_vec_batch_does_not_change_member_configs_or_stage_keys(self):
+        import dataclasses
+
+        from repro.pipeline.core import config_token
+
+        spec = dataclasses.replace(SMALL, vec_batch=2)
+        assert spec.member_configs() == SMALL.member_configs()
+        # a pure *where* knob: stage cache keys must not see it
+        assert config_token(spec) == config_token(SMALL)
+        assert "vec_batch" not in config_token(spec)
 
 
 def test_execution_backend_is_abstract():

@@ -55,6 +55,30 @@ contains
     end do
   end function looped
 
+  function dyn_loop(x, n) result(y)
+    real, intent(in) :: x
+    integer, intent(in) :: n
+    real :: y
+    integer :: i
+    y = 0.0
+    do i = 1, n
+      y = y + x
+    end do
+  end function dyn_loop
+
+  elemental subroutine split(x, lo, hi)
+    real, intent(in) :: x
+    real, intent(out) :: lo
+    real, intent(out) :: hi
+    if (x > 0.0) then
+      hi = x * scale
+      lo = 0.0
+    else
+      hi = 0.0
+      lo = x * scale
+    end if
+  end subroutine split
+
   function arrayed(x) result(y)
     real, intent(in) :: x
     real :: buf(4)
@@ -106,9 +130,35 @@ class TestSyntheticExtraction:
             kernel(np.asarray([3.0])), [15.0]
         )
 
-    def test_do_loop_refused(self, synth_interp):
-        with pytest.raises(KernelError, match="unsupported statement"):
-            extract_kernel(synth_interp, "synth", "looped")
+    def test_bounded_do_loop_unrolled(self, synth_interp):
+        kernel = extract_kernel(synth_interp, "synth", "looped")
+        np.testing.assert_array_equal(
+            kernel(np.asarray([1.5, -2.0])), [4.5, -6.0]
+        )
+        report = verify_kernel(
+            kernel,
+            synth_interp,
+            samples={"x": np.linspace(-3.0, 3.0, 31)},
+        )
+        assert report.nrms == 0.0
+
+    def test_runtime_do_bound_refused(self, synth_interp):
+        with pytest.raises(KernelError, match="compile-time"):
+            extract_kernel(synth_interp, "synth", "dyn_loop")
+
+    def test_elemental_subroutine_extracts_outputs(self, synth_interp):
+        kernel = extract_kernel(synth_interp, "synth", "split")
+        assert kernel.is_subroutine
+        assert kernel.out_names == ["lo", "hi"]
+        lo, hi = kernel(np.asarray([2.0, -2.0]))
+        np.testing.assert_array_equal(lo, [0.0, -5.0])
+        np.testing.assert_array_equal(hi, [5.0, 0.0])
+        report = verify_kernel(
+            kernel,
+            synth_interp,
+            samples={"x": np.linspace(-3.0, 3.0, 13)},
+        )
+        assert report.nrms == 0.0
 
     def test_array_local_refused(self, synth_interp):
         with pytest.raises(KernelError, match="array local"):

@@ -1,0 +1,132 @@
+"""The kernel registry only admits kernels the fused runtime may trust.
+
+Three gates, each tested against the real model build: bit-identity
+(nrms == 0, so a non-conformant kernel is rejected and counted as a
+fallback), patch isolation (a kernel touching a patched module never
+enters the registry — injected bugs must always execute interpreted),
+and FP-model compatibility (FMA/FTZ builds reject every plain-numpy
+kernel).  Registries are memoized per (source digest, fp identity).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.kgen import (
+    DEFAULT_KERNEL_TARGETS,
+    KernelRegistry,
+    build_kernel_registry,
+    extract_kernel,
+    kernel_registry_for,
+    verify_kernel,
+)
+from repro.kgen.extract import KernelReport
+from repro.model import ModelConfig, build_model_source
+from repro.obs import get_metrics
+from repro.runtime import FPConfig
+
+
+@pytest.fixture(scope="module")
+def control_source():
+    source = build_model_source(ModelConfig())
+    source.parse()
+    return source
+
+
+@pytest.fixture(scope="module")
+def control_registry(control_source):
+    return build_kernel_registry(control_source)
+
+
+class TestAdmission:
+    def test_control_build_admits_every_default_target(
+        self, control_registry
+    ):
+        assert len(control_registry) == len(DEFAULT_KERNEL_TARGETS)
+        assert control_registry.rejected == {}
+        for target in DEFAULT_KERNEL_TARGETS:
+            assert (
+                control_registry.lookup(target.module, target.function)
+                is not None
+            )
+
+    def test_non_conformant_kernel_rejected(self, control_source):
+        kernel = extract_kernel(None, "wv_saturation", "goffgratch_svp")
+        good = verify_kernel(
+            kernel, None, ranges=(("t", 180.0, 330.0),)
+        )
+        assert good.nrms == 0.0
+        # the same kernel with a forged nonzero nrms must be refused
+        bad = dataclasses.replace(good, nrms=1e-9)
+        registry = KernelRegistry()
+        before = get_metrics().counters().get("kgen.fallbacks", 0)
+        assert registry.add(kernel, bad) is False
+        assert registry.lookup(kernel.module, kernel.function) is None
+        key = (kernel.module, kernel.function)
+        assert "nrms" in registry.rejected[key]
+        after = get_metrics().counters().get("kgen.fallbacks", 0)
+        assert after == before + 1
+
+    def test_nonzero_tolerance_admits_close_kernels(self):
+        kernel = extract_kernel(None, "wv_saturation", "goffgratch_svp")
+        report = KernelReport(
+            kernel=kernel, n_samples=1, nrms=1e-13, tol=1e-12
+        )
+        registry = KernelRegistry(tol=1e-12)
+        assert registry.add(kernel, report) is True
+
+
+class TestPatchIsolation:
+    def test_patched_module_kernels_rejected(self):
+        registry = build_kernel_registry(
+            ModelConfig(patches=("goffgratch",))
+        )
+        # every wv_saturation target depends on the patched module...
+        for function in ("goffgratch_svp", "svp_ice", "qsat_water"):
+            assert registry.lookup("wv_saturation", function) is None
+            assert "patched" in registry.rejected[
+                ("wv_saturation", function)
+            ]
+        # ...but the radsw kernel is untouched and stays admitted
+        assert registry.lookup("radsw", "gravity_norm") is not None
+
+    def test_unrelated_patch_rejects_nothing(self):
+        registry = build_kernel_registry(
+            ModelConfig(patches=("wsubbug",))
+        )
+        assert len(registry) == len(DEFAULT_KERNEL_TARGETS)
+        assert registry.rejected == {}
+
+
+class TestFPGate:
+    def test_fma_rejects_every_kernel(self, control_source):
+        registry = build_kernel_registry(
+            control_source, fp=FPConfig(fma=True)
+        )
+        assert len(registry) == 0
+        assert len(registry.rejected) == len(DEFAULT_KERNEL_TARGETS)
+        for reason in registry.rejected.values():
+            assert "fp model" in reason
+
+    def test_flush_to_zero_rejects_every_kernel(self, control_source):
+        registry = build_kernel_registry(
+            control_source, fp=FPConfig(flush_to_zero=True)
+        )
+        assert len(registry) == 0
+
+    def test_default_fp_is_compatible(self, control_source):
+        registry = build_kernel_registry(control_source, fp=FPConfig())
+        assert len(registry) == len(DEFAULT_KERNEL_TARGETS)
+
+
+class TestMemoization:
+    def test_same_build_and_fp_shares_the_registry(self, control_source):
+        a = kernel_registry_for(control_source, FPConfig())
+        b = kernel_registry_for(control_source, FPConfig())
+        assert a is b
+
+    def test_fp_identity_splits_the_cache(self, control_source):
+        a = kernel_registry_for(control_source, FPConfig())
+        b = kernel_registry_for(control_source, FPConfig(fma=True))
+        assert a is not b
+        assert len(a) > 0 and len(b) == 0

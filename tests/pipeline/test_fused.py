@@ -1,0 +1,95 @@
+"""Fused cross-config prewarm: one batched stage, unchanged member keys.
+
+The fused stage must be a pure accelerator — it warms the very same
+member-cache entries the scalar-side ``experimental_runs`` stage reads
+(and vice versa), so running it first means the per-experiment pipelines
+re-run zero experimental members, and running it second finds everything
+already warm.  Detection built on fused-warmed artifacts must localize
+exactly as the scalar path does.
+"""
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.pipeline import RootCauseAnalysis, fused_experimental_pipeline
+from repro.refine import RefinementConfig
+
+SMALL = get_experiment("wsubbug").with_(
+    members=6, nsteps=1, refine=RefinementConfig(members=4)
+)
+
+
+@pytest.fixture(scope="module")
+def prewarmed(tmp_path_factory):
+    store = tmp_path_factory.mktemp("fused-store")
+    result = fused_experimental_pipeline([SMALL], store_dir=store).run()
+    return store, result
+
+
+class TestFusedPrewarm:
+    def test_cold_prewarm_runs_every_experimental_member(self, prewarmed):
+        _, result = prewarmed
+        record = result.record("fused_experimental_runs")
+        assert record.member_misses == SMALL.n_runs
+        assert record.member_hits == 0
+        runs = result["fused_experimental_runs"][SMALL.name]
+        assert len(runs) == SMALL.n_runs
+
+    def test_scalar_pipeline_hits_the_prewarmed_cache(self, prewarmed):
+        store, _ = prewarmed
+        analysis = RootCauseAnalysis(
+            SMALL, store_dir=store, backend="serial"
+        ).run()
+        record = analysis.record("experimental_runs")
+        assert record.member_hits == SMALL.n_runs
+        assert record.member_misses == 0
+        # the fused-warmed artifacts drive the same science
+        assert analysis["report"].detected
+        assert analysis["report"].localized
+
+    def test_resume_is_a_stage_hit(self, prewarmed):
+        store, first = prewarmed
+        second = fused_experimental_pipeline([SMALL], store_dir=store).run()
+        record = second.record("fused_experimental_runs")
+        assert record.status == "hit"
+        assert record.member_misses == 0
+        got = second["fused_experimental_runs"][SMALL.name]
+        want = first["fused_experimental_runs"][SMALL.name]
+        for mine, ref in zip(got, want):
+            assert mine.prng_draws == ref.prng_draws
+            assert mine.statements_executed == ref.statements_executed
+
+    def test_scalar_first_then_fused_finds_everything_warm(self, tmp_path):
+        RootCauseAnalysis(SMALL, store_dir=tmp_path, backend="serial").run()
+        result = fused_experimental_pipeline(
+            [SMALL], store_dir=tmp_path
+        ).run()
+        record = result.record("fused_experimental_runs")
+        assert record.member_hits == SMALL.n_runs
+        assert record.member_misses == 0
+
+
+class TestMultiExperimentLanes:
+    def test_two_experiments_batch_in_one_stage(self, tmp_path):
+        from repro.obs import get_metrics
+
+        specs = [
+            get_experiment("wsubbug").with_(members=6, nsteps=1),
+            get_experiment("goffgratch").with_(members=6, nsteps=1),
+        ]
+        pipeline = fused_experimental_pipeline(specs, store_dir=tmp_path)
+        names = [s.name for s in pipeline.stages]
+        # distinct patched models get their own source stage, one fused
+        # runs stage consumes them all
+        assert names.count("fused_experimental_runs") == 1
+        assert len([n for n in names if n.startswith("experimental_source")]) == 2
+
+        before = get_metrics().counters().get("vec.fused_configs", 0)
+        result = pipeline.run()
+        after = get_metrics().counters().get("vec.fused_configs", 0)
+        # each lane fuses its n_runs configs into one batch
+        assert after - before == sum(s.n_runs - 1 for s in specs)
+        record = result.record("fused_experimental_runs")
+        assert record.member_misses == sum(s.n_runs for s in specs)
+        for spec in specs:
+            assert len(result["fused_experimental_runs"][spec.name]) == spec.n_runs

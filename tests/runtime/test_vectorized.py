@@ -279,3 +279,252 @@ class TestSafetyRails:
     def test_requires_at_least_one_seed(self):
         with pytest.raises(ValueError, match="seed"):
             VecInterpreter.from_source(DIVERGE_SRC, seeds=[])
+
+
+# --------------------------------------------------------------------------- #
+# kernel fusion in the hot path
+# --------------------------------------------------------------------------- #
+FUSE_SRC = """
+module fusemod
+  implicit none
+  real, parameter :: scale = 2.5
+contains
+  elemental function warm(x) result(y)
+    real, intent(in) :: x
+    real :: y
+    if (x > 1.0) then
+      y = scale * x
+    else
+      y = x * x
+    end if
+  end function warm
+
+  function drive(x) result(y)
+    real, intent(in) :: x
+    real :: y
+    y = warm(x) + 1.0
+  end function drive
+
+  elemental function dampen(x) result(y)
+    real, intent(in) :: x
+    real :: y
+    y = x * 0.5 + 1.0
+  end function dampen
+
+  function drive_array(x) result(total)
+    real, intent(in) :: x
+    integer :: a(3)
+    real :: total
+    integer :: i
+    do i = 1, 3
+      a(i) = i
+    end do
+    total = sum(dampen(a)) + x
+  end function drive_array
+
+  function drive_const(x) result(y)
+    real, intent(in) :: x
+    real :: y
+    y = warm(2.0) + x
+  end function drive_const
+end module fusemod
+"""
+
+
+def _counter(name):
+    from repro.obs import get_metrics
+
+    return get_metrics().counters().get(name, 0)
+
+
+class TestKernelFusion:
+    """The registry-backed fast path is bit-identical and falls back safely."""
+
+    @pytest.fixture(scope="class")
+    def registry(self):
+        from repro.kgen import KernelRegistry, extract_kernel, verify_kernel
+        from repro.runtime.interpreter import Interpreter
+
+        scalar = Interpreter.from_source(FUSE_SRC, collect_coverage=False)
+        registry = KernelRegistry()
+        for function in ("warm", "dampen"):
+            kernel = extract_kernel(scalar, "fusemod", function)
+            report = verify_kernel(
+                kernel, scalar, ranges=(("x", -2.0, 3.0),)
+            )
+            assert report.nrms == 0.0
+            assert registry.add(kernel, report)
+        return registry
+
+    def test_fused_call_is_bit_identical_and_counted(self, registry):
+        xs = [0.5, 1.5, 2.5]
+        fused = VecInterpreter.from_source(
+            FUSE_SRC, seeds=[1, 2, 3], kernels=registry
+        )
+        got = fused.call("fusemod", "drive", [_batch(xs)])
+        assert fused.kernel_calls > 0
+        assert fused.kernel_fallbacks == 0
+        plain = VecInterpreter.from_source(FUSE_SRC, seeds=[1, 2, 3])
+        want = plain.call("fusemod", "drive", [_batch(xs)])
+        np.testing.assert_array_equal(np.asarray(got), np.asarray(want))
+        # accounting is replayed through the kernel: statement counts and
+        # per-member coverage must not notice the swap
+        for m in range(len(xs)):
+            assert fused.member_statements(m) == plain.member_statements(m)
+            assert (
+                fused.member_coverage(m).counts
+                == plain.member_coverage(m).counts
+            )
+
+    def test_array_actual_falls_back_to_interpretation(self, registry):
+        xs = [0.5, 2.0]
+        fused = VecInterpreter.from_source(
+            FUSE_SRC, seeds=[1, 2], kernels=registry
+        )
+        got = fused.call("fusemod", "drive_array", [_batch(xs)])
+        # the elemental call sees a member-uniform model array (integer
+        # locals stay plain), not a batch-scalar: it must interpret,
+        # never run the kernel on model-shaped data
+        assert fused.kernel_fallbacks > 0
+        assert fused.kernel_calls == 0
+        plain = VecInterpreter.from_source(FUSE_SRC, seeds=[1, 2])
+        want = plain.call("fusemod", "drive_array", [_batch(xs)])
+        np.testing.assert_array_equal(np.asarray(got), np.asarray(want))
+
+    def test_uniform_scalar_actual_falls_back(self, registry):
+        xs = [0.5, 2.0]
+        fused = VecInterpreter.from_source(
+            FUSE_SRC, seeds=[1, 2], kernels=registry
+        )
+        got = fused.call("fusemod", "drive_const", [_batch(xs)])
+        # warm(2.0) carries no member axis: nothing to vectorize over
+        assert fused.kernel_fallbacks > 0
+        assert fused.kernel_calls == 0
+        plain = VecInterpreter.from_source(FUSE_SRC, seeds=[1, 2])
+        want = plain.call("fusemod", "drive_const", [_batch(xs)])
+        np.testing.assert_array_equal(np.asarray(got), np.asarray(want))
+
+    def test_no_registry_means_no_kernel_bookkeeping(self):
+        plain = VecInterpreter.from_source(FUSE_SRC, seeds=[1, 2])
+        plain.call("fusemod", "drive", [_batch([0.5, 2.0])])
+        assert plain.kernel_calls == 0
+        assert plain.kernel_fallbacks == 0
+
+
+class TestModelKernelFusion:
+    """run_model_batch drives the default kernels over the real model."""
+
+    @pytest.fixture(scope="class")
+    def control_source(self):
+        source = build_model_source(ModelConfig())
+        source.parse()
+        return source
+
+    def _configs(self, n=2):
+        return [
+            RunConfig(model=ModelConfig(), nsteps=1, pertlim=1e-14, seed=s)
+            for s in SEEDS[:n]
+        ]
+
+    def test_auto_registry_executes_kernels(self, control_source):
+        before = _counter("kgen.kernel_calls")
+        run_model_batch(self._configs(), source=control_source)
+        assert _counter("kgen.kernel_calls") > before
+
+    @pytest.mark.parametrize(
+        "target",
+        [("wv_saturation", "qsat_water"), ("radsw", "gravity_norm")],
+        ids=lambda t: f"{t[0]}.{t[1]}",
+    )
+    def test_each_default_kernel_executes(self, control_source, target):
+        # one single-kernel registry per target proves at least two
+        # *distinct* kernels actually run in the model's hot path
+        from repro.kgen import KernelRegistry, kernel_registry_for
+
+        full = kernel_registry_for(control_source, FPConfig())
+        kernel = full.lookup(*target)
+        assert kernel is not None
+        solo = KernelRegistry()
+        assert solo.add(kernel, full.reports[target])
+        before = _counter("kgen.kernel_calls")
+        batch = run_model_batch(
+            self._configs(), source=control_source, kernels=solo
+        )
+        assert _counter("kgen.kernel_calls") > before
+        for config, run in zip(self._configs(), batch):
+            _assert_member_matches(
+                run_model(config, source=control_source), run
+            )
+
+    def test_env_kill_switch_disables_fusion(self, control_source, monkeypatch):
+        monkeypatch.setenv("REPRO_KGEN_FUSION", "0")
+        before = _counter("kgen.kernel_calls")
+        batch = run_model_batch(self._configs(), source=control_source)
+        assert _counter("kgen.kernel_calls") == before
+        for config, run in zip(self._configs(), batch):
+            _assert_member_matches(
+                run_model(config, source=control_source), run
+            )
+
+
+# --------------------------------------------------------------------------- #
+# cross-config lanes
+# --------------------------------------------------------------------------- #
+class TestMemberBatchLane:
+    def test_lane_is_an_independent_copy(self):
+        mb = np.arange(12, dtype=np.float64).reshape(3, 4).view(MemberBatch)
+        lane = mb.lane(1)
+        np.testing.assert_array_equal(lane, [4.0, 5.0, 6.0, 7.0])
+        assert not isinstance(lane, MemberBatch)
+        lane[:] = -1.0
+        assert np.asarray(mb)[1, 0] == 4.0
+
+    def test_lane_of_scalar_promoted_slot(self):
+        # a scalar slot promoted to (n,) yields 0-d per-lane values; they
+        # must come back by value, where .member() would hand out a view
+        mb = _batch([1.0, 2.0, 3.0])
+        lane = mb.lane(2)
+        assert np.ndim(lane) == 0
+        assert float(lane) == 3.0
+        view = mb.member(2)
+        assert float(view) == 3.0
+
+
+class TestHeterogeneousLanes:
+    """run_model_batch accepts configs differing beyond the model/fp/nsteps."""
+
+    def test_mixed_coverage_lanes_match_scalar(self):
+        model = ModelConfig()
+        source = build_model_source(model)
+        configs = [
+            RunConfig(
+                model=model, nsteps=1, pertlim=1e-14, seed=SEEDS[0],
+                collect_coverage=True,
+            ),
+            RunConfig(
+                model=model, nsteps=1, pertlim=1e-14, seed=SEEDS[1],
+                collect_coverage=False,
+            ),
+        ]
+        before = _counter("vec.fused_configs")
+        batch = run_model_batch(configs, source=source)
+        assert _counter("vec.fused_configs") == before + 1
+        for config, run in zip(configs, batch):
+            _assert_member_matches(run_model(config, source=source), run)
+        assert batch[0].coverage.counts != {}
+        assert batch[1].coverage.counts == {}
+
+    def test_per_lane_statement_budget_enforced(self):
+        from repro.runtime import StatementLimitExceeded
+
+        model = ModelConfig()
+        source = build_model_source(model)
+        configs = [
+            RunConfig(model=model, nsteps=1, pertlim=1e-14, seed=SEEDS[0]),
+            RunConfig(
+                model=model, nsteps=1, pertlim=1e-14, seed=SEEDS[1],
+                max_statements=10,
+            ),
+        ]
+        with pytest.raises(StatementLimitExceeded):
+            run_model_batch(configs, source=source)
