@@ -26,12 +26,15 @@ Writes ``BENCH_ensemble.json`` (repo root by default) with
 * ``localization`` — the whole pipeline per registered bug patch, driven
   through :func:`repro.pipeline.root_cause_pipeline` against one shared
   store: experimental runs -> ECT verdict -> coverage -> ranked backward
-  slice -> Algorithm 5.4 refinement -> report.  Records ``refine_iters``,
-  ``seconds_to_localize`` (end-to-end per patch, accepted ensemble
-  amortized: shared-stage wall time excluded) and whether the patch was
-  ``localized`` (refined set at most 10 of the 40 modules and containing
-  the patched module), so the perf trajectory covers the full root-cause
-  path, not just member throughput.
+  slice -> set-cover selection -> Algorithm 5.4 refinement -> report.
+  Records ``refine_iters``, ``seconds_to_localize`` (end-to-end per
+  patch, accepted ensemble amortized: shared-stage wall time excluded),
+  whether the patch was ``localized`` (refined set at most 10 of the 40
+  modules and containing the patched module), and a per-patch
+  ``selection`` block (cover size, anchors, solver, nodes explored,
+  optimality, warm-start gap) recording what the optimization stage
+  contributed, so the perf trajectory covers the full root-cause path,
+  not just member throughput.
 * ``pipeline`` — per-stage wall times of every patch's pipeline run plus
   the final stage-store statistics, so stage-level perf and cache
   behavior (the later patches hit the shared accepted-ensemble stage)
@@ -45,8 +48,11 @@ Run from the repo root::
 acceptance floor, when (given >1 CPU) the process backend does not beat
 the thread backend, when the vectorized runtime is below 5x the best
 scalar backend, when kernel-fused throughput falls below the
-interpreted-vec baseline (or the warm pass re-runs any member), or when
-any registered patch fails to localize — the
+interpreted-vec baseline (or the warm pass re-runs any member), when
+any registered patch fails to localize, or when any patch regresses
+against the pre-selection (PR 6) localization baselines — more refined
+modules than ``min(8, baseline)`` or more refinement iterations than the
+baseline took — the
 regression gate CI applies on its newest-Python matrix entry.  Checks a
 runner cannot meaningfully make (the process-vs-thread ordering on a
 single CPU) are skipped, and every skip is recorded with its reason under
@@ -86,6 +92,18 @@ VEC_SPEEDUP_FLOOR = 5.0
 LOCALIZE_MEMBERS = 30
 #: the paper-scale localization bar: 10 of the 40 modules
 LOCALIZE_TARGET = 10
+#: pre-selection (PR 6) per-patch localization baselines
+#: (refined modules, refine iterations) — the optimization-based
+#: selection stage must do no worse on either axis
+PR6_BASELINES = {
+    "cldfrc-premib": (8, 5),
+    "goffgratch": (9, 6),
+    "mg-autoconv": (8, 6),
+    "rand-mt": (8, 6),
+    "wsubbug": (10, 4),
+}
+#: the selection acceptance bar: every patch down to at most 8 modules
+SELECTION_MODULE_CAP = 8
 
 
 def time_single_run(asts, compile_flag: bool) -> float:
@@ -209,6 +227,7 @@ def bench_localization(store_dir: str) -> tuple[dict, dict]:
             for rec in result.records
             if rec.name not in SHARED_STAGES
         )
+        sel = report.selection or {}
         patches[patch] = {
             "detected": report.detected,
             "slice_modules": len(report.slice_modules),
@@ -216,6 +235,15 @@ def bench_localization(store_dir: str) -> tuple[dict, dict]:
             "refine_iters": report.refine_iterations,
             "seconds_to_localize": round(seconds, 3),
             "localized": report.localized,
+            "selection": {
+                "modules": len(sel.get("modules", [])),
+                "anchors": len(sel.get("anchors", [])),
+                "evidence_variables": len(sel.get("evidence_variables", [])),
+                "solver": sel.get("solver"),
+                "optimal": sel.get("optimal"),
+                "nodes_explored": sel.get("nodes_explored"),
+                "warm_start_gap": sel.get("warm_start_gap"),
+            },
         }
         stage_timings[patch] = result.timings()
         store_stats = result.store_stats
@@ -223,6 +251,11 @@ def bench_localization(store_dir: str) -> tuple[dict, dict]:
         "accepted_members": LOCALIZE_MEMBERS,
         "accepted_ensemble_s": round(accepted_s, 3),
         "target_modules": LOCALIZE_TARGET,
+        "selection_module_cap": SELECTION_MODULE_CAP,
+        "pr6_baselines": {
+            name: {"refined_modules": mods, "refine_iters": iters}
+            for name, (mods, iters) in sorted(PR6_BASELINES.items())
+        },
         "patches": patches,
         "all_localized": all(p["localized"] for p in patches.values()),
     }
@@ -386,6 +419,29 @@ def main() -> int:
         print(
             f"WARNING: patches not localized to <= {LOCALIZE_TARGET} "
             f"modules containing the patched module: {', '.join(bad)}",
+            file=sys.stderr,
+        )
+        failed = True
+    regressions = []
+    for name, p in sorted(localization["patches"].items()):
+        base_modules, base_iters = PR6_BASELINES.get(
+            name, (LOCALIZE_TARGET, LOCALIZE_TARGET)
+        )
+        cap = min(SELECTION_MODULE_CAP, base_modules)
+        if p["refined_modules"] > cap:
+            regressions.append(
+                f"{name}: {p['refined_modules']} refined modules "
+                f"(cap {cap})"
+            )
+        if p["refine_iters"] > base_iters:
+            regressions.append(
+                f"{name}: {p['refine_iters']} refine iterations "
+                f"(baseline {base_iters})"
+            )
+    if regressions:
+        print(
+            "WARNING: localization regressed against the pre-selection "
+            "baselines — " + "; ".join(regressions),
             file=sys.stderr,
         )
         failed = True

@@ -11,7 +11,9 @@ climate model:
 * :mod:`repro.kgen` — kernel extraction and normalized-RMS comparison.
 * :mod:`repro.ensemble` — accepted-ensemble and experimental-run generation.
 * :mod:`repro.ect` — UF-CAM-ECT style PCA consistency testing.
-* :mod:`repro.selection` — affected-output-variable selection (median / lasso).
+* :mod:`repro.selection` — optimization-based culprit selection: robust
+  (median/lasso) affected-variable evidence + anchored weighted set cover.
+* :mod:`repro.errors` — the consolidated :class:`ReproError` hierarchy.
 * :mod:`repro.graphs` — source-to-digraph metagraph construction.
 * :mod:`repro.slicing` — hybrid backward slicing (coverage + BFS paths).
 * :mod:`repro.analysis` — Girvan-Newman communities, centralities, degree stats.
@@ -79,6 +81,19 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     "UltraFastECT": ("repro.ect", "UltraFastECT"),
     "ect_test": ("repro.ect", "ect_test"),
     "select_affected_variables": ("repro.selection", "select_affected_variables"),
+    "select_culprits": ("repro.selection", "select_culprits"),
+    "EvidenceSelection": ("repro.selection", "EvidenceSelection"),
+    "SelectionSpec": ("repro.selection", "SelectionSpec"),
+    "SelectionResult": ("repro.selection", "SelectionResult"),
+    "SetCoverProblem": ("repro.selection", "SetCoverProblem"),
+    "Solver": ("repro.selection", "Solver"),
+    "get_solver": ("repro.selection", "get_solver"),
+    "list_solvers": ("repro.selection", "list_solvers"),
+    "SelectionError": ("repro.selection", "SelectionError"),
+    "InfeasibleSelectionError": ("repro.selection", "InfeasibleSelectionError"),
+    "UnknownSolverError": ("repro.selection", "UnknownSolverError"),
+    # consolidated error hierarchy
+    "ReproError": ("repro.errors", "ReproError"),
     # slicing / analysis / refinement
     "backward_slice": ("repro.slicing", "backward_slice"),
     "slice_failing_runs": ("repro.slicing", "slice_failing_runs"),

@@ -4,7 +4,8 @@ One entry point over the whole stack::
 
     python -m repro list                         # the six experiments
     python -m repro run wsubbug --store store    # build -> ensemble -> ECT
-                                                 #   -> slice -> refine -> report
+                                                 #   -> slice -> selection
+                                                 #   -> refine -> report
     python -m repro run wsubbug --store store    # again: resumes from cache
     python -m repro sweep --store store          # all experiments, shared store
     python -m repro tables                       # Table 1/2 metagraph tables
@@ -90,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=None,
             help="override refinement-ensemble size",
+        )
+        p.add_argument(
+            "--solver",
+            default=None,
+            help="set-cover solver for the selection stage "
+            "(branch-and-bound/pulp; default: experiment spec)",
         )
         p.add_argument(
             "--json",
@@ -187,6 +194,15 @@ def _resolve_experiment(args):
         overrides["refine"] = dataclasses.replace(
             base, members=args.refine_members
         )
+    if getattr(args, "solver", None) is not None:
+        import dataclasses
+
+        from .selection import SelectionSpec
+
+        base_sel = spec.selection or SelectionSpec()
+        overrides["selection"] = dataclasses.replace(
+            base_sel, solver=args.solver
+        )
     return spec.with_(**overrides) if overrides else spec
 
 
@@ -265,8 +281,9 @@ EX_USAGE = 2
 
 
 def _validate_names(args) -> Optional[str]:
-    """Resolve the experiment, backend and batch-size knobs up front; the
-    error message (naming every known candidate) on a bad one, else None."""
+    """Resolve the experiment, backend, batch-size and solver knobs up
+    front; the error message (naming every known candidate) on a bad one,
+    else None."""
     from .ensemble.backends import (
         InvalidBatchSizeError,
         UnknownBackendError,
@@ -274,8 +291,11 @@ def _validate_names(args) -> Optional[str]:
         validate_batch_size,
     )
     from .experiments import UnknownExperimentError
+    from .selection import UnknownSolverError, get_solver
 
     try:
+        if getattr(args, "solver", None) is not None:
+            get_solver(args.solver)
         _resolve_experiment(args)
         if args.backend is not None:
             get_backend(args.backend, max_workers=args.max_workers)
@@ -285,6 +305,7 @@ def _validate_names(args) -> Optional[str]:
         UnknownExperimentError,
         UnknownBackendError,
         InvalidBatchSizeError,
+        UnknownSolverError,
     ) as exc:
         return str(exc)
     return None

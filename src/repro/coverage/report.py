@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from ..errors import ReproError
 from ..runtime import CoverageTrace
 
 __all__ = ["CoverageReport", "CoverageReportError"]
@@ -35,7 +36,7 @@ REPORT_FORMAT = "repro-coverage"
 REPORT_VERSION = 1
 
 
-class CoverageReportError(ValueError):
+class CoverageReportError(ReproError, ValueError):
     """Raised when a serialized report cannot be parsed."""
 
 

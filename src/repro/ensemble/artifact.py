@@ -23,6 +23,7 @@ from typing import Mapping
 
 import numpy as np
 
+from ..errors import ReproError
 from ..runtime import CoverageTrace, RunConfig, RunResult
 
 __all__ = ["ArtifactError", "RunArtifact"]
@@ -34,7 +35,7 @@ _OUT_PREFIX = "out::"
 _FIRST_PREFIX = "first::"
 
 
-class ArtifactError(ValueError):
+class ArtifactError(ReproError, ValueError):
     """Raised when a serialized artifact payload cannot be decoded."""
 
 

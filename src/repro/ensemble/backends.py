@@ -54,6 +54,7 @@ from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, wait
 from typing import Callable, Iterator, Optional
 
+from ..errors import ReproError
 from ..model.builder import ModelConfig, ModelSource, build_model_source
 from ..obs import Span, get_tracer, new_span_id
 from ..runtime import RunConfig, run_model
@@ -75,7 +76,7 @@ __all__ = [
 ]
 
 
-class UnknownBackendError(ValueError, KeyError):
+class UnknownBackendError(ReproError, ValueError, KeyError):
     """Raised for a backend name that is not registered.
 
     Mirrors :class:`~repro.model.patches.UnknownPatchError`: it subclasses
@@ -90,7 +91,7 @@ class UnknownBackendError(ValueError, KeyError):
     def __str__(self) -> str:  # avoid KeyError's repr-quoting of the message
         return self.args[0] if self.args else ""
 
-class InvalidBatchSizeError(ValueError):
+class InvalidBatchSizeError(ReproError, ValueError):
     """Raised for a nonsense vectorized batch size, wherever it came from.
 
     Mirrors :class:`UnknownBackendError`: a :class:`ValueError` whose

@@ -1,0 +1,104 @@
+"""repro.errors — the consolidated exception hierarchy.
+
+Every error the package raises on purpose derives from :class:`ReproError`,
+so callers embedding the pipeline (services, notebooks, the CLI) can write
+one ``except ReproError`` instead of importing eight scattered types::
+
+    from repro.errors import ReproError
+
+    try:
+        run_experiment(name, store_dir=store)
+    except ReproError as exc:
+        ...  # every intentional repro failure lands here
+
+The concrete classes keep living (and keep being importable) where they
+always were — ``repro.model.patches.UnknownPatchError``,
+``repro.pipeline.store.StoreError``, ... — this module re-exports them
+lazily so ``import repro.errors`` stays cheap and free of import cycles.
+Each class also keeps its historical builtin bases (``ValueError``,
+``KeyError``, ``RuntimeError``) so existing ``except`` clauses continue to
+match.
+
+Two usage conventions the CLI maps onto exit codes (tested in
+``tests/test_errors.py``):
+
+* *usage errors* — unknown experiment/backend/solver names, bad batch
+  sizes — exit ``2`` (``EX_USAGE``) before any work runs;
+* *analysis outcomes* — the pipeline ran but did not localize — exit
+  ``1``; these are not exceptions at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ArtifactError",
+    "CoverageReportError",
+    "FortranFrontEndError",
+    "FortranRuntimeError",
+    "InfeasibleSelectionError",
+    "InvalidBatchSizeError",
+    "KernelError",
+    "PatchError",
+    "PipelineError",
+    "ReproError",
+    "SelectionError",
+    "StageError",
+    "StoreError",
+    "UnknownBackendError",
+    "UnknownExperimentError",
+    "UnknownPatchError",
+    "UnknownSolverError",
+    "VectorizationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every intentional error raised by :mod:`repro`.
+
+    Concrete errors mix this in *alongside* their historical builtin base
+    (``class StoreError(ReproError, ValueError)``), so both
+    ``except ReproError`` and the pre-consolidation ``except ValueError``
+    spellings keep working.
+    """
+
+
+#: name -> (module, attribute): the concrete classes, re-exported lazily
+#: from their defining modules (importing them eagerly here would create
+#: cycles — those modules import ReproError from this one)
+_ERROR_EXPORTS: dict[str, tuple[str, str]] = {
+    "FortranFrontEndError": ("repro.fortran.errors", "FortranFrontEndError"),
+    "FortranRuntimeError": ("repro.runtime.values", "FortranRuntimeError"),
+    "ArtifactError": ("repro.ensemble.artifact", "ArtifactError"),
+    "CoverageReportError": ("repro.coverage.report", "CoverageReportError"),
+    "PatchError": ("repro.model.patches", "PatchError"),
+    "UnknownPatchError": ("repro.model.patches", "UnknownPatchError"),
+    "UnknownExperimentError": ("repro.experiments", "UnknownExperimentError"),
+    "UnknownBackendError": ("repro.ensemble.backends", "UnknownBackendError"),
+    "InvalidBatchSizeError": ("repro.ensemble.backends", "InvalidBatchSizeError"),
+    "StoreError": ("repro.pipeline.store", "StoreError"),
+    "PipelineError": ("repro.pipeline.core", "PipelineError"),
+    "StageError": ("repro.pipeline.core", "StageError"),
+    "VectorizationError": ("repro.runtime.values", "VectorizationError"),
+    "KernelError": ("repro.kgen.extract", "KernelError"),
+    "SelectionError": ("repro.selection.setcover", "SelectionError"),
+    "InfeasibleSelectionError": ("repro.selection.setcover", "InfeasibleSelectionError"),
+    "UnknownSolverError": ("repro.selection.setcover", "UnknownSolverError"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _ERROR_EXPORTS[name]
+    except KeyError as exc:
+        raise AttributeError(
+            f"module 'repro.errors' has no attribute {name!r}"
+        ) from exc
+    from importlib import import_module
+
+    return getattr(import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:  # pragma: no cover - trivial
+    return sorted(__all__)

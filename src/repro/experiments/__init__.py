@@ -7,7 +7,8 @@ contraction — plus every knob of the workflow that evaluates it
 (ensemble size, perturbation magnitude, FP model, ECT and refinement
 configs, the ≤ ``target_modules`` localization criterion).  Specs are
 frozen data: :func:`repro.pipeline.root_cause_pipeline` compiles a spec
-into the build → ensemble → ECT → slice → refine → report DAG, and
+into the build → ensemble → ECT → slice → selection → refine → report
+DAG, and
 because stage cache keys are content hashes of the specs' knobs, every
 experiment in a sweep sharing one store shares the one accepted-ensemble
 stage (the control build is identical across them) — the expensive 30
@@ -29,9 +30,11 @@ from typing import TYPE_CHECKING, Optional
 
 from ..ect import EctConfig
 from ..ensemble.spec import EnsembleSpec
+from ..errors import ReproError
 from ..model.builder import ModelConfig
 from ..refine import RefinementConfig
 from ..runtime import FPConfig
+from ..selection import SelectionSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..pipeline import PipelineResult
@@ -46,7 +49,7 @@ __all__ = [
 ]
 
 
-class UnknownExperimentError(KeyError):
+class UnknownExperimentError(ReproError, KeyError):
     """Raised for an experiment name that is not registered.
 
     A ``KeyError`` (registry semantics) listing every known experiment,
@@ -64,10 +67,10 @@ class ExperimentSpec:
     ``patch`` selects a registered bug patch for the experimental build
     (None = the control build); ``fma`` turns on global FMA contraction
     in the experimental runs' FP model.  The remaining fields parameterize
-    the pipeline stages; ``ect`` / ``refine`` default to the library
-    defaults when None.  ``backend`` is a *where* knob (never part of any
-    cache key) naming the default execution backend for this experiment's
-    member fan-outs.
+    the pipeline stages; ``ect`` / ``refine`` / ``selection`` default to
+    the library defaults when None.  ``backend`` is a *where* knob (never
+    part of any cache key) naming the default execution backend for this
+    experiment's member fan-outs.
     """
 
     name: str
@@ -83,6 +86,8 @@ class ExperimentSpec:
     backend: Optional[str] = None
     ect: Optional[EctConfig] = None
     refine: Optional[RefinementConfig] = None
+    #: optimization-based culprit selection knobs (None = defaults)
+    selection: Optional[SelectionSpec] = None
     #: the paper's localization criterion: refined suspect set size cap
     target_modules: int = 10
 

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ReproError
 
-class FortranFrontEndError(Exception):
+
+class FortranFrontEndError(ReproError):
     """Base class for all errors raised by :mod:`repro.fortran`."""
 
 

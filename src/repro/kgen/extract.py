@@ -54,6 +54,7 @@ from ..fortran.ast_nodes import (
     UnaryOp,
     VarRef,
 )
+from ..errors import ReproError
 from ..model.builder import ModelConfig, ModelSource, build_model_source
 from ..runtime.interpreter import Frame, Interpreter
 from ..runtime.values import Scope, StatementLimitExceeded
@@ -72,7 +73,7 @@ __all__ = [
 ]
 
 
-class KernelError(ValueError):
+class KernelError(ReproError, ValueError):
     """The subprogram uses a construct the kernel extractor cannot express."""
 
 

@@ -33,8 +33,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from ..errors import ReproError
 
-class PatchError(ValueError):
+
+class PatchError(ReproError, ValueError):
     """Raised when a patch cannot be applied exactly once to its file."""
 
 

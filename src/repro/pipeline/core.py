@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..ensemble.cache import MemberCache, _json_safe
+from ..errors import ReproError
 from ..obs import get_metrics, get_tracer, round_wall
 from .store import ArtifactStore, StoreError, find_nonfinite
 
@@ -56,11 +57,11 @@ __all__ = [
 PIPELINE_FORMAT = 1
 
 
-class PipelineError(ValueError):
+class PipelineError(ReproError, ValueError):
     """Raised for a structurally invalid pipeline (cycles, bad inputs)."""
 
 
-class StageError(RuntimeError):
+class StageError(ReproError, RuntimeError):
     """A stage function raised; carries the records completed so far.
 
     The artifacts of every stage that finished *before* the failure are

@@ -42,6 +42,7 @@ from ..graphs import build_metagraph
 from ..model.builder import ModelConfig, ModelSource, build_model_source
 from ..refine import RefinementConfig, RefinementResult, RefinementStep, refine_slice
 from ..runtime import CoverageTrace, RunConfig, RunResult, run_model
+from ..selection import SelectionResult, SelectionSpec, select_culprits
 from ..slicing import RankedSlice, slice_failing_runs
 from .core import Pipeline, PipelineResult, Stage, StageContext, config_token
 from .store import StoreError, json_payload, payload_json
@@ -56,6 +57,7 @@ __all__ = [
     "make_ect_stage",
     "make_ensemble_stage",
     "make_fused_experimental_stage",
+    "make_selection_stage",
     "make_source_stage",
     "root_cause_pipeline",
 ]
@@ -565,6 +567,81 @@ def make_slice_stage(
     )
 
 
+# ---------------------------------------------------------- selection stage
+def make_selection_stage(
+    selection: Optional[SelectionSpec] = None,
+) -> Stage:
+    """Optimization-based culprit selection between slicing and refinement.
+
+    Runs :func:`repro.selection.select_culprits`: robust evidence
+    selection over the ECT-failing variables, then the anchored
+    minimum-weight set cover over the ranked slice's candidate pool,
+    warm-started from the Girvan-Newman community partition of the module
+    quotient graph.  The refine stage consumes the result as its initial
+    suspect set.
+    """
+    selection_spec = selection or SelectionSpec()
+
+    def func(
+        ctx: StageContext,
+        control_ensemble,
+        experimental_runs,
+        ect,
+        coverage_run,
+        metagraph,
+        control_source,
+        ranked_slice,
+    ) -> SelectionResult:
+        from ..analysis import girvan_newman_communities, quotient_graph
+
+        communities = girvan_newman_communities(quotient_graph(metagraph))
+        result = select_culprits(
+            control_ensemble,
+            experimental_runs,
+            graph=metagraph,
+            source=control_source,
+            coverage=coverage_run.coverage,
+            ect_result=ect,
+            communities=communities,
+            ranked=ranked_slice,
+            spec=selection_spec,
+        )
+        ctx.annotate(
+            selected_modules=len(result.modules),
+            solver=result.solver,
+            optimal=result.optimal,
+            nodes_explored=result.nodes_explored,
+        )
+        return result
+
+    def encode(result: SelectionResult, ctx, inputs) -> dict:
+        return json_payload(result.to_dict())
+
+    def decode(payload, ctx: StageContext, inputs) -> SelectionResult:
+        result = SelectionResult.from_dict(payload_json(payload))
+        ctx.annotate(
+            selected_modules=len(result.modules), solver=result.solver
+        )
+        return result
+
+    return Stage(
+        name="selection",
+        func=func,
+        inputs=(
+            "control_ensemble",
+            "experimental_runs",
+            "ect",
+            "coverage_run",
+            "metagraph",
+            "control_source",
+            "ranked_slice",
+        ),
+        params={"selection": selection_spec},
+        encode=encode,
+        decode=decode,
+    )
+
+
 # ------------------------------------------------------------- refine stage
 def make_refine_stage(
     refine: Optional[RefinementConfig] = None,
@@ -578,6 +655,7 @@ def make_refine_stage(
     def func(
         ctx: StageContext,
         ranked_slice,
+        selection,
         control_ensemble,
         experimental_runs,
         coverage_run,
@@ -595,6 +673,7 @@ def make_refine_stage(
             backend=backend,
             cache_dir=ctx.member_cache_dir,
             max_workers=max_workers,
+            selection=selection,
         )
         ctx.count_members(
             result.ensemble_cache_hits, result.ensemble_cache_misses
@@ -629,6 +708,7 @@ def make_refine_stage(
                 "total_modules": result.total_modules,
                 "ensemble_cache_hits": result.ensemble_cache_hits,
                 "ensemble_cache_misses": result.ensemble_cache_misses,
+                "extra": dict(result.extra),
             }
         )
 
@@ -660,6 +740,7 @@ def make_refine_stage(
             total_modules=int(meta["total_modules"]),
             ensemble_cache_hits=int(meta["ensemble_cache_hits"]),
             ensemble_cache_misses=int(meta["ensemble_cache_misses"]),
+            extra=dict(meta.get("extra", {})),
         )
         ctx.annotate(
             refined_modules=len(result.modules),
@@ -672,6 +753,7 @@ def make_refine_stage(
         func=func,
         inputs=(
             "ranked_slice",
+            "selection",
             "control_ensemble",
             "experimental_runs",
             "coverage_run",
@@ -694,7 +776,7 @@ def make_report_stage(
     """The culprit report: verdict + localization, rendered by repro.reporting."""
 
     def func(
-        ctx: StageContext, ect, ranked_slice, refined, control_source
+        ctx: StageContext, ect, ranked_slice, selection, refined, control_source
     ):
         from ..reporting import build_report
 
@@ -707,6 +789,7 @@ def make_report_stage(
             ranked=ranked_slice,
             refined=refined,
             target_modules=target_modules,
+            selection=selection,
         )
         ctx.annotate(
             localized=report.localized,
@@ -730,7 +813,7 @@ def make_report_stage(
     return Stage(
         name="report",
         func=func,
-        inputs=("ect", "ranked_slice", "refined", "control_source"),
+        inputs=("ect", "ranked_slice", "selection", "refined", "control_source"),
         params={
             "experiment": experiment_name,
             "patch": patch,
@@ -784,6 +867,7 @@ def root_cause_pipeline(
         make_coverage_run_stage(exp_model, exp_fp, source_input=source_input),
         make_ect_stage(experiment.ect),
         make_slice_stage(),
+        make_selection_stage(getattr(experiment, "selection", None)),
         make_refine_stage(
             experiment.refine, backend=backend, max_workers=max_workers
         ),

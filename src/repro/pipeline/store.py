@@ -31,6 +31,7 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
+from ..errors import ReproError
 from ..obs import get_metrics
 
 __all__ = [
@@ -45,7 +46,7 @@ __all__ = [
 JSON_KEY = "__json__"
 
 
-class StoreError(ValueError):
+class StoreError(ReproError, ValueError):
     """Raised when a stage payload cannot be encoded or decoded."""
 
 

@@ -49,6 +49,7 @@ from ..ensemble import Ensemble, generate_ensemble
 from ..ensemble.generate import FIRST_SUFFIX
 from ..graphs import MetaGraph, build_metagraph
 from ..obs import get_metrics, get_tracer
+from ..selection.evidence import EvidenceSelection
 from ..slicing import RankedSlice, slice_failing_runs, variable_weights
 
 __all__ = [
@@ -298,13 +299,19 @@ class IterativeRefinement:
         runs: Sequence,
         *,
         coverage=None,
+        selection=None,
     ) -> RefinementResult:
         """Shrink ``slice_`` by iterative exclusion testing (Algorithm 5.4).
 
         ``runs`` are the ECT-failing experimental runs the slice was built
         from; ``coverage`` the executed-line evidence of the failing
         configuration (falls back to the runs' merged traces, like the
-        slicer).  Deterministic for a fixed :class:`RefinementConfig`.
+        slicer).  ``selection``, when given (a non-empty
+        :class:`~repro.selection.SelectionResult`), warm-starts the loop:
+        the initial suspects are the set-cover optimum instead of the full
+        slice, so refinement begins at (often below) its target and spends
+        iterations only when the optimizer kept more than the target.
+        Deterministic for a fixed :class:`RefinementConfig`.
         """
         config = self.config
         total = len(self.graph.modules())
@@ -327,7 +334,7 @@ class IterativeRefinement:
             source=self.source,
             coverage=coverage,
             decay=config.decay,
-            variables=evidence,
+            evidence=EvidenceSelection(variables=tuple(evidence)),
         )
         weights = ranked.variable_weights
         depths = {
@@ -341,17 +348,28 @@ class IterativeRefinement:
             vectors,
         )
 
-        suspects = set(slice_.modules)
-        initial = list(slice_.modules)
+        warm_started = selection is not None and bool(
+            getattr(selection, "modules", ())
+        )
+        if warm_started:
+            initial = list(selection.modules)
+        else:
+            initial = list(slice_.modules)
+        suspects = set(initial)
         protected = self._protected(weights, depths, suspects)
         steps: list[RefinementStep] = []
+        extra = (
+            {"warm_start": "selection", "selection_modules": len(initial)}
+            if warm_started
+            else {}
+        )
 
         if baseline is None or baseline.consistent:
             # the refinement ensemble cannot even see the failure: refuse
             # to prune anything on no evidence
             return self._result(
                 suspects, initial, protected, frozenset(), steps, scores,
-                weights, baseline, target, total,
+                weights, baseline, target, total, extra,
             )
 
         essential: set[str] = set()
@@ -416,7 +434,7 @@ class IterativeRefinement:
 
         return self._result(
             suspects, initial, protected, frozenset(essential), steps,
-            scores, weights, baseline, target, total,
+            scores, weights, baseline, target, total, extra,
         )
 
     # ------------------------------------------------------------- helpers
@@ -506,6 +524,7 @@ class IterativeRefinement:
         verdict: Optional[EctResult],
         target: int,
         total: int,
+        extra: Optional[dict] = None,
     ) -> RefinementResult:
         modules = sorted(
             suspects, key=lambda m: (-scores.get(m, 0.0), m)
@@ -524,6 +543,7 @@ class IterativeRefinement:
             total_modules=total,
             ensemble_cache_hits=self.ensemble.cache_hits,
             ensemble_cache_misses=self.ensemble.cache_misses,
+            extra=dict(extra or {}),
         )
 
 
@@ -540,6 +560,7 @@ def refine_slice(
     backend=None,
     cache_dir=None,
     max_workers: Optional[int] = None,
+    selection=None,
 ) -> RefinementResult:
     """One-shot Algorithm 5.4: fit :class:`IterativeRefinement` and refine.
 
@@ -549,6 +570,9 @@ def refine_slice(
     ``coverage`` the failing configuration's executed-line evidence.
     ``backend`` / ``cache_dir`` flow into the refinement-ensemble
     regeneration through the standard backend registry and artifact cache.
+    ``selection`` (a :class:`~repro.selection.SelectionResult`) warm-starts
+    the loop from the set-cover optimum — see
+    :meth:`IterativeRefinement.refine`.
     """
     refiner = IterativeRefinement(
         ensemble,
@@ -560,4 +584,4 @@ def refine_slice(
         cache_dir=cache_dir,
         max_workers=max_workers,
     )
-    return refiner.refine(slice_, runs, coverage=coverage)
+    return refiner.refine(slice_, runs, coverage=coverage, selection=selection)

@@ -89,6 +89,10 @@ class LocalizationReport:
     refine_iterations: int
     target_modules: int
     total_modules: int
+    #: the selection stage's outcome (None on pre-selection reports):
+    #: modules / anchors / solver / optimal / nodes_explored /
+    #: warm_start_gap, as plain JSON-safe data
+    selection: Optional[dict] = None
 
     @property
     def detected(self) -> bool:
@@ -121,6 +125,7 @@ class LocalizationReport:
             "refine_iterations": self.refine_iterations,
             "target_modules": self.target_modules,
             "total_modules": self.total_modules,
+            "selection": self.selection,
             # derived, for consumers reading the JSON without this class
             "detected": self.detected,
             "contained": self.contained,
@@ -140,6 +145,7 @@ class LocalizationReport:
             refine_iterations=int(data["refine_iterations"]),
             target_modules=int(data["target_modules"]),
             total_modules=int(data["total_modules"]),
+            selection=data.get("selection"),  # absent in pre-selection JSON
         )
 
     def to_json(self) -> str:
@@ -181,6 +187,16 @@ class LocalizationReport:
             "",
             f"- slice: {len(self.slice_modules)} of "
             f"{self.total_modules} modules",
+        ]
+        if self.selection is not None and self.selection.get("modules"):
+            sel = self.selection
+            lines.append(
+                f"- selection: {len(sel['modules'])} modules via "
+                f"`{sel.get('solver', '?')}` "
+                f"({'optimal' if sel.get('optimal') else 'node limit'}, "
+                f"{len(sel.get('anchors', []))} anchored)"
+            )
+        lines += [
             f"- refined: {len(self.refined_modules)} modules "
             f"(target <= {self.target_modules}) "
             f"after {self.refine_iterations} iterations",
@@ -227,13 +243,31 @@ def build_report(
     ranked,
     refined,
     target_modules: int,
+    selection=None,
 ) -> LocalizationReport:
     """Assemble the :class:`LocalizationReport` of one pipeline run.
 
     ``verdict`` is the pipeline's top-level :class:`~repro.ect.EctResult`,
     ``ranked`` the :class:`~repro.slicing.RankedSlice`, ``refined`` the
-    :class:`~repro.refine.RefinementResult`.
+    :class:`~repro.refine.RefinementResult`, ``selection`` (optional) the
+    :class:`~repro.selection.SelectionResult` that warm-started it.
     """
+    selection_block = None
+    if selection is not None and getattr(selection, "modules", ()):
+        selection_block = {
+            "modules": list(selection.modules),
+            "anchors": list(selection.anchors),
+            "evidence_variables": (
+                list(selection.evidence.variables)
+                if selection.evidence is not None
+                else []
+            ),
+            "solver": selection.solver,
+            "optimal": bool(selection.optimal),
+            "nodes_explored": int(selection.nodes_explored),
+            "cost": float(selection.cost),
+            "warm_start_gap": float(selection.warm_start_gap),
+        }
     return LocalizationReport(
         experiment=experiment,
         patch=patch,
@@ -245,4 +279,5 @@ def build_report(
         refine_iterations=refined.n_iterations,
         target_modules=target_modules,
         total_modules=refined.total_modules,
+        selection=selection_block,
     )

@@ -27,6 +27,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..errors import ReproError
+
 __all__ = [
     "DerivedValue",
     "ElementRef",
@@ -46,7 +48,7 @@ __all__ = [
 ]
 
 
-class FortranRuntimeError(Exception):
+class FortranRuntimeError(ReproError):
     """Base class for errors raised while executing model code."""
 
 

@@ -1,0 +1,69 @@
+"""repro.selection — optimization-based culprit selection.
+
+The bridge between slicing and refinement: instead of handing Algorithm
+5.4 the whole ranked slice (top-k evidence, ~45% of the modules) to prune
+iteratively, select the culprit candidates *up front* as the optimum of a
+small, exactly-solved combinatorial program:
+
+1. **Evidence** (:mod:`repro.selection.evidence`) — robust median/MAD (or
+   LASSO-style soft-threshold) selection of the genuinely affected output
+   variables, replacing the slicer's fixed top-k cut.
+2. **Set cover** (:mod:`repro.selection.setcover`) — the minimum-weight
+   module set covering all selected evidence, subject to
+   slice-reachability constraints (a module covers a variable only within
+   ``depth_cap`` BFS levels of its coverage-filtered backward slice;
+   modules near the strongest evidence are anchored into every solution).
+   Solved exactly by a deterministic pure-python branch-and-bound
+   warm-started from a community-guided greedy cover, or by the optional
+   PuLP/CBC backend behind the same :class:`Solver` protocol.
+3. **Stage** — ``root_cause_pipeline`` runs this as the ``selection``
+   stage between slicing and refinement, so ``refine_slice`` starts from
+   the set-cover optimum instead of the full slice: fewer candidate
+   modules in, fewer exclusion iterations, tighter localizations out.
+
+>>> from repro.selection import SelectionSpec, select_culprits
+>>> result = select_culprits(ensemble, failing_runs, graph=graph,
+...                          source=source, ect_result=verdict,
+...                          spec=SelectionSpec())
+>>> result.modules  # minimum-weight cover, strongest evidence first
+"""
+
+from .evidence import (
+    EVIDENCE_METHODS,
+    EvidenceSelection,
+    select_affected_variables,
+)
+from .select import SelectionResult, SelectionSpec, select_culprits
+from .setcover import (
+    BranchAndBoundSolver,
+    InfeasibleSelectionError,
+    PulpSolver,
+    SelectionError,
+    SetCoverProblem,
+    SetCoverSolution,
+    Solver,
+    UnknownSolverError,
+    get_solver,
+    greedy_cover,
+    list_solvers,
+)
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "EVIDENCE_METHODS",
+    "EvidenceSelection",
+    "InfeasibleSelectionError",
+    "PulpSolver",
+    "SelectionError",
+    "SelectionResult",
+    "SelectionSpec",
+    "SetCoverProblem",
+    "SetCoverSolution",
+    "Solver",
+    "UnknownSolverError",
+    "get_solver",
+    "greedy_cover",
+    "list_solvers",
+    "select_affected_variables",
+    "select_culprits",
+]

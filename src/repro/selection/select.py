@@ -1,0 +1,317 @@
+"""``select_culprits``: evidence → anchored set cover → culprit modules.
+
+The orchestration layer of :mod:`repro.selection` and the programmatic
+face of the pipeline's ``selection`` stage.  Given the accepted ensemble
+and the ECT-failing runs, it
+
+1. derives per-variable deviation weights restricted to the ECT-failing
+   variables and runs the robust evidence selection
+   (:func:`repro.selection.select_affected_variables`);
+2. slices backward from exactly those variables
+   (``slice_failing_runs(evidence=...)``) for per-variable module depths,
+   module scores, and the ranked candidate pool;
+3. builds the anchored :class:`~repro.selection.setcover.SetCoverProblem`
+   — candidates restricted to the ranked slice, coverage within
+   ``depth_cap`` BFS levels, module weight ``1 / (1 + score)`` so strong
+   slice evidence is cheap to keep, anchors forced — and solves it with
+   the configured :class:`~repro.selection.setcover.Solver`;
+4. returns a :class:`SelectionResult` ordered strongest evidence first,
+   ready to warm-start :func:`repro.refine.refine_slice`.
+
+Instrumented via :mod:`repro.obs`: a ``selection.solve`` span plus the
+``selection.solves`` / ``selection.nodes_explored`` counters and the
+``selection.warm_start_gap`` distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..obs import get_metrics, get_tracer
+from ..slicing import slice_failing_runs, variable_weights
+from .evidence import EVIDENCE_METHODS, EvidenceSelection, select_affected_variables
+from .setcover import SetCoverProblem, get_solver
+
+__all__ = [
+    "SelectionResult",
+    "SelectionSpec",
+    "select_culprits",
+]
+
+
+@dataclass(frozen=True)
+class SelectionSpec:
+    """Knobs of optimization-based culprit selection.
+
+    Defaults are tuned so all five registered patches localize to at most
+    eight modules containing the injected culprit (held by the strict
+    bench gate); ``ExperimentSpec.selection = None`` means these defaults.
+    """
+
+    #: evidence method: "mad" (robust, default), "lasso", or "topk"
+    method: str = "mad"
+    #: outlier strictness of the evidence method (MAD multiplier)
+    strength: float = 3.0
+    #: pad the evidence up to this many variables
+    min_variables: int = 6
+    #: hard cap on evidence variables
+    max_variables: int = 8
+    #: strongest evidence variables whose neighbourhood anchors the cover
+    anchor_variables: int = 4
+    #: anchor radius in BFS levels (the refinement stage's ``slack``)
+    anchor_depth: int = 2
+    #: slice-reachability constraint: a module can cover a variable only
+    #: within this many BFS levels of the variable's backward slice
+    depth_cap: int = 2
+    #: registered solver name ("branch-and-bound" or "pulp")
+    solver: str = "branch-and-bound"
+    #: branch-and-bound node budget (solution flagged non-optimal beyond)
+    node_limit: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.method not in EVIDENCE_METHODS:
+            raise ValueError(
+                f"unknown evidence method {self.method!r} "
+                f"(known: {', '.join(EVIDENCE_METHODS)})"
+            )
+        if self.anchor_depth < 0 or self.depth_cap < 0:
+            raise ValueError("depths must be >= 0")
+        if self.anchor_depth > self.depth_cap:
+            raise ValueError(
+                f"anchor_depth ({self.anchor_depth}) must not exceed "
+                f"depth_cap ({self.depth_cap}): anchors are covers too"
+            )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The selected culprit modules and the optimization that chose them."""
+
+    #: selected modules, strongest slice evidence first
+    modules: tuple[str, ...]
+    #: the solver's minimum-weight cover (anchors included), sorted
+    cover: tuple[str, ...]
+    #: modules forced by anchor reachability, sorted
+    anchors: tuple[str, ...]
+    #: the evidence selection the cover explains
+    evidence: Optional[EvidenceSelection]
+    #: evidence variables that could not be sliced or covered (no seeds,
+    #: or nothing within ``depth_cap``) — excluded from the cover
+    dropped_variables: tuple[str, ...] = ()
+    #: per-module slice scores of the selected modules
+    scores: Mapping[str, float] = field(default_factory=dict)
+    cost: float = 0.0
+    warm_start_cost: float = 0.0
+    optimal: bool = True
+    nodes_explored: int = 0
+    solver: str = ""
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __contains__(self, module: str) -> bool:
+        return module in self.modules
+
+    def __bool__(self) -> bool:
+        return bool(self.modules)
+
+    @property
+    def warm_start_gap(self) -> float:
+        """Cost the exact solve shaved off the greedy warm start."""
+        return self.warm_start_cost - self.cost
+
+    def summary(self) -> str:
+        head = ", ".join(self.modules[:6])
+        return (
+            f"SelectionResult({len(self.modules)} modules via {self.solver}"
+            f"{'' if self.optimal else ' (node limit)'}: {head}"
+            f"{'...' if len(self.modules) > 6 else ''})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "modules": list(self.modules),
+            "cover": list(self.cover),
+            "anchors": list(self.anchors),
+            "evidence": None if self.evidence is None else self.evidence.to_dict(),
+            "dropped_variables": list(self.dropped_variables),
+            "scores": {k: self.scores[k] for k in sorted(self.scores)},
+            "cost": self.cost,
+            "warm_start_cost": self.warm_start_cost,
+            "optimal": self.optimal,
+            "nodes_explored": self.nodes_explored,
+            "solver": self.solver,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SelectionResult":
+        evidence = data.get("evidence")
+        return cls(
+            modules=tuple(data["modules"]),
+            cover=tuple(data.get("cover", ())),
+            anchors=tuple(data.get("anchors", ())),
+            evidence=(
+                None if evidence is None else EvidenceSelection.from_dict(evidence)
+            ),
+            dropped_variables=tuple(data.get("dropped_variables", ())),
+            scores=dict(data.get("scores", {})),
+            cost=float(data.get("cost", 0.0)),
+            warm_start_cost=float(data.get("warm_start_cost", 0.0)),
+            optimal=bool(data.get("optimal", True)),
+            nodes_explored=int(data.get("nodes_explored", 0)),
+            solver=data.get("solver", ""),
+        )
+
+    @classmethod
+    def empty(cls, evidence: Optional[EvidenceSelection] = None) -> "SelectionResult":
+        """The no-evidence selection: nothing selected, nothing solved."""
+        return cls(modules=(), cover=(), anchors=(), evidence=evidence)
+
+
+def select_culprits(
+    ensemble,
+    runs: Sequence,
+    *,
+    graph=None,
+    source=None,
+    coverage=None,
+    ect_result=None,
+    communities=None,
+    ranked=None,
+    spec: Optional[SelectionSpec] = None,
+) -> SelectionResult:
+    """Optimization-based culprit selection for a set of ECT-failing runs.
+
+    Parameters mirror :func:`repro.slicing.slice_failing_runs`;
+    additionally ``communities`` (a
+    :class:`~repro.analysis.CommunityResult`) guides the solver's greedy
+    warm start and ``ranked`` (the slicing stage's
+    :class:`~repro.slicing.RankedSlice`) restricts the candidate pool to
+    the slice — anchor modules stay candidates regardless, their
+    reachability constraint outranks the cap.  Deterministic for a fixed
+    :class:`SelectionSpec`.
+    """
+    spec = spec or SelectionSpec()
+    if not runs:
+        raise ValueError("select_culprits needs at least one failing run")
+
+    failing = (
+        list(ect_result.failing_variables) if ect_result is not None else None
+    )
+    weights = variable_weights(ensemble, runs, failing)
+    evidence = select_affected_variables(
+        weights,
+        method=spec.method,
+        strength=spec.strength,
+        min_variables=spec.min_variables,
+        max_variables=spec.max_variables,
+        anchor_variables=spec.anchor_variables,
+    )
+    if not evidence.variables:
+        return SelectionResult.empty(evidence)
+
+    # one slicer pass over exactly the selected evidence: per-variable
+    # depths + module scores (store rehydration drops RankedSlice.slices,
+    # so the stage recomputes them here rather than trusting its input)
+    sliced = slice_failing_runs(
+        ensemble,
+        runs,
+        graph=graph,
+        source=source,
+        coverage=coverage,
+        evidence=evidence,
+    )
+    depths = {
+        name: sl.module_depths() for name, sl in sliced.slices.items()
+    }
+    scores = dict(sliced.ranking)
+
+    pool = None if ranked is None else set(ranked.modules)
+    anchors: set[str] = set()
+    for name in evidence.anchors:
+        for module, depth in depths.get(name, {}).items():
+            if depth <= spec.anchor_depth:
+                anchors.add(module)
+
+    coverers: dict[str, frozenset[str]] = {}
+    dropped: list[str] = []
+    for name in evidence.variables:
+        near = {
+            module
+            for module, depth in depths.get(name, {}).items()
+            if depth <= spec.depth_cap
+            and (pool is None or module in pool or module in anchors)
+        }
+        if near:
+            coverers[name] = frozenset(near)
+        else:
+            dropped.append(name)
+    if not coverers:
+        return SelectionResult.empty(evidence)
+
+    module_weights = {
+        module: 1.0 / (1.0 + scores.get(module, 0.0))
+        for covered in coverers.values()
+        for module in covered
+    }
+    for module in anchors:
+        module_weights.setdefault(
+            module, 1.0 / (1.0 + scores.get(module, 0.0))
+        )
+    groups: dict[str, int] = {}
+    if communities is not None:
+        ordered = [tuple(sorted(c)) for c in communities.communities]
+        for module in module_weights:
+            groups[module] = next(
+                (i for i, c in enumerate(ordered) if module in c), -1
+            )
+
+    problem = SetCoverProblem(
+        elements=tuple(
+            name for name in evidence.variables if name in coverers
+        ),
+        coverers=coverers,
+        weights=module_weights,
+        forced=frozenset(anchors),
+        groups=groups,
+    )
+    solver = get_solver(spec.solver, node_limit=spec.node_limit)
+
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span(
+        "selection.solve",
+        lambda: {
+            "solver": solver.name,
+            "elements": len(problem.elements),
+            "candidates": len(problem.candidates),
+            "anchors": len(anchors),
+        },
+    ) as span:
+        solution = solver.solve(problem)
+        span.annotate(
+            modules=len(solution.modules),
+            nodes_explored=solution.nodes_explored,
+            optimal=solution.optimal,
+        )
+    metrics.inc("selection.solves")
+    metrics.inc("selection.nodes_explored", solution.nodes_explored)
+    metrics.observe("selection.warm_start_gap", solution.warm_start_gap)
+
+    modules = sorted(
+        solution.modules, key=lambda m: (-scores.get(m, 0.0), m)
+    )
+    return SelectionResult(
+        modules=tuple(modules),
+        cover=solution.modules,
+        anchors=tuple(sorted(anchors)),
+        evidence=evidence,
+        dropped_variables=tuple(dropped),
+        scores={m: float(scores.get(m, 0.0)) for m in modules},
+        cost=solution.cost,
+        warm_start_cost=solution.warm_start_cost,
+        optimal=solution.optimal,
+        nodes_explored=solution.nodes_explored,
+        solver=solution.solver,
+    )

@@ -31,6 +31,7 @@ Two layers:
 from __future__ import annotations
 
 import math
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
@@ -273,6 +274,7 @@ def slice_failing_runs(
     decay: float = 0.5,
     max_module_fraction: float = 0.45,
     variables: Optional[Sequence[str]] = None,
+    evidence=None,
 ) -> RankedSlice:
     """The hybrid backward slice for a set of ECT-failing runs.
 
@@ -306,14 +308,37 @@ def slice_failing_runs(
         Hard cap on the slice size as a fraction of all graph modules
         (default 0.45 — the acceptance bar is "below half the modules").
     variables:
-        Explicit affected-variable override.  When given, the internal
+        Deprecated spelling of ``evidence`` — a bare sequence of output
+        field names.  Emits a :class:`DeprecationWarning`; pass an
+        :class:`~repro.selection.EvidenceSelection` as ``evidence=``
+        instead (bit-identical result).
+    evidence:
+        Explicit affected-variable override: an
+        :class:`~repro.selection.EvidenceSelection` (anything with an
+        ordered ``variables`` attribute works).  When given, the internal
         top-k most-deviant-variable heuristic (and the ``ect_result``
         seed filter) is bypassed and exactly these output fields are
         sliced from, each weighted by its own deviation evidence
         (``@first`` suffixes are normalized; fields with no deviation or
         no seed nodes contribute nothing).  This is the injection point
-        for :mod:`repro.refine` and the future ``repro.selection`` stage.
+        for :mod:`repro.refine` and the :mod:`repro.selection` stage.
     """
+    if variables is not None:
+        if evidence is not None:
+            raise ValueError(
+                "pass either evidence= or the deprecated variables=, not both"
+            )
+        warnings.warn(
+            "slice_failing_runs(variables=...) is deprecated; pass "
+            "evidence=EvidenceSelection(variables=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        requested_names: Optional[Sequence[str]] = variables
+    elif evidence is not None:
+        requested_names = list(getattr(evidence, "variables"))
+    else:
+        requested_names = None
     if not runs:
         raise ValueError("slice_failing_runs needs at least one failing run")
     if not 0.0 < decay <= 1.0:
@@ -343,10 +368,10 @@ def slice_failing_runs(
     module_files = module_file_map(source)
     seed_map = output_field_seeds(source, graph)
 
-    if variables is not None:
+    if requested_names is not None:
         weights = variable_weights(ensemble, runs, None)
         requested: list[str] = []
-        for name in variables:
+        for name in requested_names:
             base = name.replace("@first", "")
             if base not in requested:
                 requested.append(base)

@@ -69,7 +69,8 @@ class TestRootCausePipeline:
         assert names.index("control_source") < names.index("control_ensemble")
         assert names.index("control_ensemble") < names.index("ect")
         assert names.index("ect") < names.index("ranked_slice")
-        assert names.index("ranked_slice") < names.index("refined")
+        assert names.index("ranked_slice") < names.index("selection")
+        assert names.index("selection") < names.index("refined")
         assert names[-1] == "report"
         assert "patched_source" in names  # wsubbug is a patched experiment
 

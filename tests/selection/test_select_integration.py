@@ -1,0 +1,133 @@
+"""The selection stage on the real model: stage wiring, warm start, store.
+
+One small (6-member) wsubbug pipeline run backs the whole module; every
+assertion reads its outputs, so the expensive part runs once.
+"""
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.pipeline import RootCauseAnalysis, root_cause_pipeline
+from repro.refine import RefinementConfig
+from repro.selection import (
+    SelectionResult,
+    SelectionSpec,
+    select_culprits,
+)
+
+SMALL_EXPERIMENT = get_experiment("wsubbug").with_(
+    members=6, nsteps=1, refine=RefinementConfig(members=4)
+)
+
+
+@pytest.fixture(scope="module")
+def small_run(tmp_path_factory):
+    store = tmp_path_factory.mktemp("selection-store")
+    result = RootCauseAnalysis(
+        SMALL_EXPERIMENT, store_dir=store, backend="serial"
+    ).run()
+    return store, result
+
+
+class TestStage:
+    def test_selection_output_contains_the_culprit(self, small_run):
+        _, result = small_run
+        selection = result["selection"]
+        assert isinstance(selection, SelectionResult)
+        assert "microp_aero" in selection.modules
+        assert selection.optimal
+        assert selection.solver == "branch-and-bound"
+        assert selection.evidence is not None
+        assert "WSUB" in selection.evidence.variables
+
+    def test_cover_stays_inside_the_ranked_slice_plus_anchors(
+        self, small_run
+    ):
+        _, result = small_run
+        selection = result["selection"]
+        ranked = result["ranked_slice"]
+        allowed = set(ranked.modules) | set(selection.anchors)
+        assert set(selection.modules) <= allowed
+        # modules are ordered strongest slice evidence first
+        scores = [selection.scores[m] for m in selection.modules]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_refinement_warm_starts_from_the_selection(self, small_run):
+        _, result = small_run
+        refined = result["refined"]
+        assert refined.extra["warm_start"] == "selection"
+        assert refined.extra["selection_modules"] == len(result["selection"])
+        # the selection already beat the target: refinement is a no-op
+        assert refined.n_iterations == 0
+        assert set(refined.modules) == set(result["selection"].modules)
+
+    def test_report_carries_the_selection_block(self, small_run):
+        _, result = small_run
+        block = result["report"].selection
+        assert block is not None
+        assert block["modules"] == list(result["selection"].modules)
+        assert block["solver"] == "branch-and-bound"
+        assert block["optimal"] is True
+        line = f"- selection: {len(block['modules'])} modules"
+        assert line in result["report"].to_markdown()
+
+    def test_selection_resumes_from_the_store_bit_identically(
+        self, small_run
+    ):
+        store, first = small_run
+        second = RootCauseAnalysis(
+            SMALL_EXPERIMENT, store_dir=store, backend="serial"
+        ).run()
+        assert second.record("selection").status == "hit"
+        assert second["selection"] == first["selection"]
+        assert second.record("refined").status == "hit"
+        assert second["refined"].extra == first["refined"].extra
+
+    def test_solver_knob_changes_the_selection_stage_key(self):
+        base = root_cause_pipeline(SMALL_EXPERIMENT).keys()
+        pulped = root_cause_pipeline(
+            SMALL_EXPERIMENT.with_(
+                selection=SelectionSpec(solver="pulp")
+            )
+        ).keys()
+        assert base["selection"] != pulped["selection"]
+        assert base["ranked_slice"] == pulped["ranked_slice"]
+
+
+class TestSelectCulprits:
+    def test_is_deterministic_for_fixed_inputs(self, small_run):
+        _, result = small_run
+        kwargs = dict(
+            graph=result["metagraph"],
+            source=result["control_source"],
+            coverage=result["coverage_run"].coverage,
+            ect_result=result["ect"],
+            ranked=result["ranked_slice"],
+        )
+        first = select_culprits(
+            result["control_ensemble"], result["experimental_runs"], **kwargs
+        )
+        second = select_culprits(
+            result["control_ensemble"], result["experimental_runs"], **kwargs
+        )
+        assert first == second
+        assert first.nodes_explored == second.nodes_explored
+
+    def test_requires_failing_runs(self, small_run):
+        _, result = small_run
+        with pytest.raises(ValueError, match="at least one failing run"):
+            select_culprits(result["control_ensemble"], [])
+
+    def test_round_trip(self, small_run):
+        _, result = small_run
+        selection = result["selection"]
+        again = SelectionResult.from_dict(selection.to_dict())
+        assert again == selection
+        assert again.warm_start_gap == selection.warm_start_gap
+        assert bool(again) and len(again) == len(selection)
+
+    def test_metrics_and_span_recorded(self, small_run):
+        from repro.obs import get_metrics
+
+        counters = get_metrics().counters()
+        assert counters.get("selection.solves", 0) >= 1

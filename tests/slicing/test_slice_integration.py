@@ -104,13 +104,15 @@ def test_slice_is_ranked_and_reports_evidence(
     assert sl.summary().startswith("RankedSlice(")
 
 
-def test_explicit_variables_override_replaces_the_topk_heuristic(
+def test_explicit_evidence_override_replaces_the_topk_heuristic(
     accepted_ensemble, ect, control_source, control_graph
 ):
-    """The refinement stage injects its own affected-variable set: the
-    ``variables=`` override must slice from exactly those fields (with
-    their own evidence weights), ignoring the internal top-k selection and
-    the ect_result filter."""
+    """The refinement and selection stages inject their own
+    affected-variable set: the ``evidence=`` override must slice from
+    exactly those fields (with their own evidence weights), ignoring the
+    internal top-k selection and the ect_result filter."""
+    from repro.selection import EvidenceSelection
+
     model = ModelConfig(patches=("wsubbug",))
     patched_source = build_model_source(model)
     runs = [
@@ -125,7 +127,8 @@ def test_explicit_variables_override_replaces_the_topk_heuristic(
     )
     injected = slice_failing_runs(
         accepted_ensemble, runs,
-        variables=["WSUB", "WSUB@first", "PRECT"], **kwargs
+        evidence=EvidenceSelection(variables=("WSUB", "WSUB@first", "PRECT")),
+        **kwargs,
     )
     # only the requested fields carry evidence (@first folds into its base)
     assert set(injected.variable_weights) == {"WSUB", "PRECT"}
@@ -136,10 +139,53 @@ def test_explicit_variables_override_replaces_the_topk_heuristic(
     assert set(default.variable_weights) != set(injected.variable_weights)
     # unknown / non-deviating fields contribute nothing rather than fail
     silent = slice_failing_runs(
-        accepted_ensemble, runs, variables=["NOT_A_FIELD"], **kwargs
+        accepted_ensemble, runs,
+        evidence=EvidenceSelection(variables=("NOT_A_FIELD",)),
+        **kwargs,
     )
     assert silent.variable_weights == {}
     assert silent.modules == []
+
+
+def test_variables_kwarg_is_deprecated_but_bit_identical(
+    accepted_ensemble, ect, control_source, control_graph
+):
+    """``variables=`` still works — warning, same bits — and combining it
+    with its replacement is a usage error."""
+    from repro.selection import EvidenceSelection
+
+    model = ModelConfig(patches=("wsubbug",))
+    patched_source = build_model_source(model)
+    runs = [
+        run_model(SPEC.experimental_config(i, model=model), source=patched_source)
+        for i in range(3)
+    ]
+    coverage = run_model(
+        RunConfig(model=model, nsteps=1), source=patched_source
+    ).coverage
+    kwargs = dict(
+        graph=control_graph, source=control_source, coverage=coverage
+    )
+    evidence = EvidenceSelection(variables=("WSUB", "PRECT"))
+    with pytest.warns(DeprecationWarning, match="evidence=EvidenceSelection"):
+        legacy = slice_failing_runs(
+            accepted_ensemble, runs, variables=["WSUB", "PRECT"], **kwargs
+        )
+    modern = slice_failing_runs(
+        accepted_ensemble, runs, evidence=evidence, **kwargs
+    )
+    # bit-identical outcome: weights, ranking and slice all match exactly
+    assert legacy.variable_weights == modern.variable_weights
+    assert legacy.ranking == modern.ranking
+    assert legacy.modules == modern.modules
+    with pytest.raises(ValueError, match="not both"):
+        slice_failing_runs(
+            accepted_ensemble,
+            runs,
+            variables=["WSUB"],
+            evidence=evidence,
+            **kwargs,
+        )
 
 
 def test_never_executed_modules_are_sliced_away(

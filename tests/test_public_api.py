@@ -29,6 +29,8 @@ IMPLEMENTED_MODULES = {
     "repro.experiments",
     "repro.reporting",
     "repro.obs",
+    "repro.selection",
+    "repro.errors",
 }
 
 IMPLEMENTED = sorted(
